@@ -1,0 +1,78 @@
+"""Ablation: cache line size.
+
+The paper fixes 16-byte lines.  The Section 5.2 arithmetic generalizes:
+a W-I migratory episode moves three cache lines (Rp + Sw + Rxp) where AD
+moves one (Mack), so AD's per-episode traffic reduction *grows* with the
+line size — 53% at 16 B, approaching 2/3 asymptotically.  We check the
+closed form and confirm it in simulation across line sizes, and also
+sweep cache associativity (the paper's caches are direct-mapped).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.message_cost import traffic_reduction_for_line
+from repro.experiments.runner import compare_protocols
+from repro.machine.config import MachineConfig
+
+
+def sweep_line_sizes(sizes=(16, 32, 64)):
+    measured = {}
+    for line in sizes:
+        config = MachineConfig.dash_default(line_size=line)
+        comparison = compare_protocols(
+            "migratory-counters",
+            config=config,
+            check_coherence=False,
+            iterations=30,
+            num_counters=8,
+            record_lines=1,
+            line_size=line,
+        )
+        measured[line] = comparison.traffic_reduction
+    return measured
+
+
+def test_line_size_analytic_curve():
+    assert traffic_reduction_for_line(16) == pytest.approx(0.534, abs=0.001)
+    assert traffic_reduction_for_line(32) == pytest.approx(1 - 456 / 1088, abs=0.001)
+    # Monotone increase toward 2/3.
+    values = [traffic_reduction_for_line(size) for size in (16, 32, 64, 128, 1024)]
+    assert values == sorted(values)
+    assert values[-1] < 2 / 3
+
+
+def test_line_size_sweep_simulated(benchmark):
+    measured = run_once(benchmark, sweep_line_sizes)
+    print()
+    print(f"{'line bytes':>10}{'measured':>10}{'analytic':>10}")
+    for line, value in measured.items():
+        analytic = traffic_reduction_for_line(line)
+        print(f"{line:>10}{value:>10.1%}{analytic:>10.1%}")
+        benchmark.extra_info[f"line{line}"] = round(value, 3)
+        # Simulation tracks the closed form within a few points (cold
+        # misses and lock handoffs add non-episode traffic).
+        assert value == pytest.approx(analytic, abs=0.10)
+    # The reduction grows with the line size, as the model predicts.
+    values = list(measured.values())
+    assert values == sorted(values)
+
+
+def test_associativity_reduces_conflict_misses(benchmark):
+    def sweep():
+        results = {}
+        for assoc in (1, 2, 4):
+            config = MachineConfig.dash_default(cache_size=1024, associativity=assoc)
+            comparison = compare_protocols(
+                "mp3d", preset="tiny", config=config, check_coherence=False
+            )
+            results[assoc] = comparison.wi.counter("replacement_misses")
+        return results
+
+    misses = run_once(benchmark, sweep)
+    print(f"\nreplacement misses by associativity: {misses}")
+    benchmark.extra_info.update({f"assoc{k}": v for k, v in misses.items()})
+    # Higher associativity never increases conflict misses on this
+    # workload (same capacity).
+    assert misses[2] <= misses[1]
+    assert misses[4] <= misses[2]

@@ -1,0 +1,47 @@
+"""Benchmark regenerating Figure 6: MP3D under SC and weak ordering.
+
+Paper: WO hides all write stall for both protocols; with the real network
+AD is ~16% faster than W-I under WO (contention); with infinite network
+bandwidth they become nearly identical; AD under SC is competitive with
+W-I under WO.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_figure6, run_figure6
+from repro.experiments.figure6 import cell
+
+
+def test_figure6_consistency_models(benchmark, bench_preset):
+    cells = run_once(
+        benchmark, run_figure6, preset=bench_preset, check_coherence=False
+    )
+    print()
+    print(render_figure6(cells))
+
+    def norm(variant, policy):
+        return cell(cells, variant, policy).normalized_time
+
+    for variant in ("SC", "WO Cont.", "WO No Cont."):
+        for policy in ("W-I", "AD"):
+            benchmark.extra_info[f"{variant}/{policy}"] = round(
+                norm(variant, policy), 3
+            )
+
+    # WO hides write latency entirely for both protocols.
+    for variant in ("WO Cont.", "WO No Cont."):
+        for policy in ("W-I", "AD"):
+            assert (
+                cell(cells, variant, policy).result.aggregate_breakdown.write_stall
+                == 0
+            )
+
+    # AD gains under contended WO; the gap (nearly) closes without
+    # contention (paper: 16% -> ~0%).
+    gain_cont = 1 - norm("WO Cont.", "AD") / norm("WO Cont.", "W-I")
+    gain_nocont = 1 - norm("WO No Cont.", "AD") / norm("WO No Cont.", "W-I")
+    assert gain_cont > 0.05
+    assert gain_nocont < 0.05
+    assert gain_cont > gain_nocont
+
+    # AD under SC is competitive with W-I under WO (paper: even better).
+    assert norm("SC", "AD") <= norm("WO Cont.", "W-I") * 1.10

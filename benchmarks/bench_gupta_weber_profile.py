@@ -1,0 +1,44 @@
+"""Benchmark regenerating the paper's Section 2.1 premise.
+
+Gupta & Weber (cited as the paper's motivation): for MP3D and Water,
+"more than 98% of the read-exclusive requests resulted in single
+invalidations" under write-invalidate — the invalidation-pattern
+signature of migratory sharing.  LU, by contrast, is dominated by
+zero-invalidation (first-touch) writes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.policy import ProtocolPolicy
+from repro.experiments import run_workload
+from repro.stats.sharing_profile import invalidation_profile, render_profile
+
+
+def run_profiles(preset):
+    profiles = {}
+    for name in ("mp3d", "cholesky", "water", "lu"):
+        result = run_workload(
+            name, ProtocolPolicy.write_invalidate(),
+            preset=preset, check_coherence=False,
+        )
+        profiles[name] = invalidation_profile(result)
+    return profiles
+
+
+def test_gupta_weber_invalidation_patterns(benchmark, bench_preset):
+    profiles = run_once(benchmark, run_profiles, bench_preset)
+    print()
+    for name, profile in profiles.items():
+        print(render_profile(name, profile))
+        benchmark.extra_info[f"{name}_single"] = round(
+            profile.single_invalidation_fraction, 3
+        )
+
+    # The migratory apps are dominated by single invalidations.
+    assert profiles["mp3d"].single_invalidation_fraction > 0.85
+    assert profiles["water"].single_invalidation_fraction > 0.90
+    assert profiles["cholesky"].single_invalidation_fraction > 0.60
+    # LU's writes are first touches: zero invalidations dominate.
+    assert profiles["lu"].zero_invalidation_fraction > 0.9
+    # Nobody is dominated by wide (2+) invalidations.
+    for name, profile in profiles.items():
+        assert profile.multiple_invalidation_fraction < 0.25, name

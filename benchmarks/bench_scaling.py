@@ -1,0 +1,31 @@
+"""Benchmark for the paper's Section 6 scaling discussion.
+
+Claims under test: (1) the amount of migratory sharing — dominance of
+single invalidations — is independent of system size (Gupta & Weber's
+8/16/32-processor data); (2) the adaptive protocol's benefit grows with
+system size, because remote latencies and bandwidth pressure grow.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.scaling import render_scaling, run_scaling
+
+
+def test_scaling_sweep(benchmark):
+    points = run_once(benchmark, run_scaling, check_coherence=False)
+    print()
+    print(render_scaling(points))
+    for point in points:
+        benchmark.extra_info[f"{point.nodes}n_etr"] = round(point.etr, 2)
+
+    # (1) migratory sharing is size-independent: single-invalidation
+    # dominance at every size, varying by only a few points.
+    fractions = [p.single_invalidation_fraction for p in points]
+    assert all(f > 0.85 for f in fractions)
+    assert max(fractions) - min(fractions) < 0.10
+
+    # (2) AD's advantage does not shrink with size — and the largest
+    # machine sees the largest ratio.
+    etrs = [p.etr for p in points]
+    assert etrs[-1] >= etrs[0]
+    assert max(etrs) == etrs[-1]
+    assert all(etr > 1.3 for etr in etrs)

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Table 1: unloaded memory-hierarchy latencies.
+
+Paper: hit 1, local fill 22, remote fill 54/73 (2/3-hop), read-exclusive
+51/70 pclocks.  Asserts every measured row is within 15% of the paper.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import measure_table1, render_table1
+
+
+def test_table1_latencies(benchmark):
+    rows = run_once(benchmark, measure_table1)
+    print()
+    print(render_table1(rows))
+    for name, row in rows.items():
+        benchmark.extra_info[f"{name}_measured"] = round(row.measured, 1)
+        benchmark.extra_info[f"{name}_paper"] = row.paper
+        assert abs(row.relative_error) <= 0.15, (name, row.measured)

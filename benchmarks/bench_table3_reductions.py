@@ -1,0 +1,39 @@
+"""Benchmark regenerating Table 3: read-exclusive and traffic reductions.
+
+Paper: rx reduction MP3D 87%, Cholesky 69%, Water 96%, LU 5%; traffic
+reduction 32%, 22%, 31%, 1%.  Shape: Water > MP3D > Cholesky >> LU on
+rx; >20% traffic reduction on the three migratory apps and ~0 on LU.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table3, run_table3
+
+
+def test_table3_reductions(benchmark, bench_preset):
+    rows = run_once(benchmark, run_table3, preset=bench_preset, check_coherence=False)
+    print()
+    print(render_table3(rows))
+    red = {}
+    for row in rows:
+        red[row.workload] = row
+        benchmark.extra_info[f"{row.workload}_rx"] = round(row.rx_reduction, 3)
+        benchmark.extra_info[f"{row.workload}_traffic"] = round(
+            row.traffic_reduction, 3
+        )
+
+    # Paper's ordering of read-exclusive reductions.
+    assert (
+        red["water"].rx_reduction
+        > red["mp3d"].rx_reduction
+        > red["cholesky"].rx_reduction
+        > red["lu"].rx_reduction
+    )
+    assert red["water"].rx_reduction > 0.9
+    assert red["mp3d"].rx_reduction > 0.7
+    assert red["cholesky"].rx_reduction > 0.5
+    assert red["lu"].rx_reduction < 0.15
+
+    # Traffic: >20% for migratory apps (paper: 32/22/31), ~0 for LU.
+    for name in ("mp3d", "cholesky", "water"):
+        assert red[name].traffic_reduction > 0.2, name
+    assert abs(red["lu"].traffic_reduction) < 0.05

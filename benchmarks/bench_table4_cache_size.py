@@ -1,0 +1,41 @@
+"""Benchmark regenerating Table 4: impact of cache size.
+
+Paper: shrinking the cache (64 KB -> 4 KB) raises the replacement miss
+rate and shrinks AD's write-penalty reduction (e.g. MP3D 86% -> 67%),
+while LU's WPR stays near zero; the adaptive protocol remains effective.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_table4, run_table4
+
+
+def test_table4_cache_size(benchmark, bench_preset):
+    rows = run_once(
+        benchmark, run_table4, preset=bench_preset, check_coherence=False
+    )
+    print()
+    print(render_table4(rows))
+    by_name = {row.workload: row for row in rows}
+    for name, row in by_name.items():
+        benchmark.extra_info[f"{name}_mr"] = (
+            round(row.mr_large, 3), round(row.mr_small, 3)
+        )
+        benchmark.extra_info[f"{name}_wpr"] = (
+            round(row.wpr_large, 3), round(row.wpr_small, 3)
+        )
+
+    # Small caches raise the replacement miss rate.
+    for row in rows:
+        assert row.mr_small >= row.mr_large, row.workload
+    assert by_name["mp3d"].mr_small > 0.05
+    assert by_name["lu"].mr_small > 0.05
+
+    # WPR: high for migratory apps, smaller at the small cache for the
+    # apps whose footprint thrashes (paper's MP3D/Cholesky trend), and
+    # near zero for LU at both sizes.
+    assert by_name["mp3d"].wpr_large > 0.5
+    assert by_name["water"].wpr_large > 0.5
+    assert by_name["cholesky"].wpr_large > 0.4
+    assert by_name["mp3d"].wpr_small < by_name["mp3d"].wpr_large
+    assert by_name["lu"].wpr_large < 0.2
+    assert by_name["lu"].wpr_small < 0.2

@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+simulations are deterministic and heavy (seconds each), so each benchmark
+runs a single round and attaches the reproduced numbers to
+``benchmark.extra_info`` — the benchmark timing itself measures the
+simulator, while the scientific output is printed and stored.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+#: Preset used by the reproduction benchmarks.  "default" matches the
+#: numbers recorded in EXPERIMENTS.md; switch to "tiny" for a quick pass.
+BENCH_PRESET = "default"
+
+
+@pytest.fixture(scope="session")
+def bench_preset():
+    return BENCH_PRESET
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one go.
+
+Equivalent to ``repro-sim report``.  Takes a few minutes at the default
+preset; pass ``tiny`` as the first argument for a fast pass.
+
+Run:  python examples/paper_report.py [preset]
+"""
+
+import sys
+
+from repro.stats.report import full_report
+
+
+def main() -> None:
+    preset = sys.argv[1] if len(sys.argv) > 1 else "default"
+    print(full_report(preset=preset))
+
+
+if __name__ == "__main__":
+    main()

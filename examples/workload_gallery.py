@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Tour the four benchmark models through the sharing-pattern profiler.
+
+For each workload this prints the per-block sharing census (Gupta &
+Weber style), the invalidation histogram, and the W-I vs AD comparison —
+one screen per benchmark showing *why* each app lands where it does in
+the paper's Table 3.
+
+Run:  python examples/workload_gallery.py   (takes ~1 min)
+"""
+
+from repro import Machine, MachineConfig, ProtocolPolicy
+from repro.experiments.runner import compare_protocols
+from repro.stats.sharing_profile import invalidation_profile, render_profile
+from repro.workloads import PAPER_BENCHMARKS, make_workload
+
+
+def main() -> None:
+    for name in PAPER_BENCHMARKS:
+        print("=" * 68)
+        # Profiled W-I run: where do the requests go?
+        machine = Machine(
+            MachineConfig.dash_default(profile_blocks=True, check_coherence=False)
+        )
+        workload = make_workload(name, machine.config.num_nodes, "default")
+        result = machine.run(workload.programs())
+        print(machine.block_profiler.render())
+        print()
+        print(render_profile(name, invalidation_profile(result)))
+
+        comparison = compare_protocols(name, check_coherence=False)
+        print()
+        print(
+            f"W-I vs AD: ETR {comparison.execution_time_ratio:.2f}, "
+            f"rx reduction {comparison.rx_reduction:.0%}, "
+            f"traffic reduction {comparison.traffic_reduction:.0%}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

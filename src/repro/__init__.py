@@ -1,0 +1,41 @@
+"""repro — reproduction of Stenström, Brorsson & Sandberg (ISCA 1993),
+"An Adaptive Cache Coherence Protocol Optimized for Migratory Sharing".
+
+Public API quick tour::
+
+    from repro import Machine, MachineConfig, ProtocolPolicy
+
+    config = MachineConfig.dash_default(policy=ProtocolPolicy.adaptive_default())
+    machine = Machine(config)
+    result = machine.run(programs)          # one op-generator per node
+    print(result.execution_time, result.counter("rxq_received"))
+
+See :mod:`repro.workloads` for the paper's benchmark programs and
+:mod:`repro.experiments` for the per-table/figure reproduction harness.
+"""
+
+from repro.consistency import SEQUENTIAL_CONSISTENCY, WEAK_ORDERING
+from repro.core import ProtocolPolicy, ReferenceDetectorFSM, should_nominate
+from repro.cpu import Barrier, Compute, Lock, Read, Unlock, Write
+from repro.machine import Machine, MachineConfig, RunResult, SharedAllocator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Barrier",
+    "Compute",
+    "Lock",
+    "Machine",
+    "MachineConfig",
+    "ProtocolPolicy",
+    "Read",
+    "ReferenceDetectorFSM",
+    "RunResult",
+    "SEQUENTIAL_CONSISTENCY",
+    "SharedAllocator",
+    "Unlock",
+    "WEAK_ORDERING",
+    "Write",
+    "should_nominate",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Analytical models accompanying the simulator."""
+
+from repro.analysis.message_cost import (
+    AD_EPISODE,
+    WI_EPISODE,
+    EpisodeCost,
+    ad_episode_cost,
+    breakdown_table,
+    episode_cost,
+    migratory_traffic_reduction,
+    wi_episode_cost,
+)
+
+__all__ = [
+    "AD_EPISODE",
+    "EpisodeCost",
+    "WI_EPISODE",
+    "ad_episode_cost",
+    "breakdown_table",
+    "episode_cost",
+    "migratory_traffic_reduction",
+    "wi_episode_cost",
+]

@@ -1,0 +1,254 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-sim run mp3d --protocol AD --consistency SC
+    repro-sim compare water --preset tiny
+    repro-sim table1
+    repro-sim report --preset default
+    repro-sim list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.consistency.models import model_by_name
+from repro.core.policy import ProtocolPolicy
+from repro.experiments import (
+    compare_protocols,
+    measure_table1,
+    render_table1,
+    run_workload,
+)
+from repro.stats.report import format_table, full_report
+from repro.workloads import PRESETS, WORKLOADS
+
+
+def _policy_by_name(name: str) -> ProtocolPolicy:
+    table = {
+        "W-I": ProtocolPolicy.write_invalidate(),
+        "WI": ProtocolPolicy.write_invalidate(),
+        "AD": ProtocolPolicy.adaptive_default(),
+        "AD-RXQ": ProtocolPolicy(adaptive=True, rxq_reverts_to_ordinary=True),
+        "AD-NONOMIG": ProtocolPolicy(adaptive=True, nomig_enabled=False),
+    }
+    try:
+        return table[name.upper()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown protocol {name!r}; choose from {sorted(table)}"
+        ) from None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_workload(
+        args.workload,
+        _policy_by_name(args.protocol),
+        preset=args.preset,
+        consistency=model_by_name(args.consistency),
+        check_coherence=not args.no_check,
+    )
+    breakdown = result.aggregate_breakdown
+    fractions = breakdown.fractions()
+    print(f"workload:        {args.workload} (preset {args.preset})")
+    print(f"protocol:        {result.policy_name} / {result.consistency_name}")
+    print(f"execution time:  {result.execution_time} pclocks")
+    print(
+        "time breakdown:  "
+        + "  ".join(f"{k}={v:.1%}" for k, v in fractions.items())
+    )
+    print(f"network traffic: {result.network_bits} bits "
+          f"({result.network_messages} messages)")
+    for counter in (
+        "read_misses", "write_misses", "write_upgrades", "rxq_received",
+        "invalidations_sent", "nominations", "migratory_reads",
+        "migrating_promotions", "nomig_reverts", "writebacks", "naks",
+    ):
+        print(f"  {counter:<22}{result.counter(counter)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = compare_protocols(
+        args.workload,
+        preset=args.preset,
+        consistency=model_by_name(args.consistency),
+        check_coherence=not args.no_check,
+    )
+    rows = [
+        ("execution time (pclocks)", comparison.wi.execution_time,
+         comparison.ad.execution_time),
+        ("read-exclusive requests", comparison.wi.counter("rxq_received"),
+         comparison.ad.counter("rxq_received")),
+        ("network bits", comparison.wi.network_bits, comparison.ad.network_bits),
+        ("write stall (pclocks)",
+         comparison.wi.aggregate_breakdown.write_stall,
+         comparison.ad.aggregate_breakdown.write_stall),
+    ]
+    print(format_table(("metric", "W-I", "AD"), rows))
+    print()
+    print(f"execution-time ratio (W-I/AD): {comparison.execution_time_ratio:.2f}")
+    print(f"read-exclusive reduction:      {comparison.rx_reduction:.1%}")
+    print(f"traffic reduction:             {comparison.traffic_reduction:.1%}")
+    print(f"write-penalty reduction:       {comparison.write_penalty_reduction:.1%}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table1(measure_table1()))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-block sharing-pattern census + invalidation histogram."""
+    from repro.machine.config import MachineConfig
+    from repro.machine.system import Machine
+    from repro.stats.sharing_profile import invalidation_profile, render_profile
+    from repro.workloads import make_workload
+
+    config = MachineConfig.dash_default(
+        policy=_policy_by_name(args.protocol),
+        consistency=model_by_name(args.consistency),
+        profile_blocks=True,
+        check_coherence=not args.no_check,
+    )
+    machine = Machine(config)
+    workload = make_workload(args.workload, config.num_nodes, args.preset)
+    result = machine.run(workload.programs())
+    print(machine.block_profiler.render())
+    print()
+    print(render_profile(args.workload, invalidation_profile(result)))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Exhaustively model-check the protocol."""
+    from repro.verify import ProtocolModel, explore
+
+    policy = _policy_by_name(args.protocol)
+    model = ProtocolModel(num_caches=args.caches, ops=args.ops, policy=policy)
+    result = explore(model)
+    print(f"protocol {policy.name}: {result.summary()}")
+    print("all invariants held in every reachable state")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(full_report(preset=args.preset, check_coherence=not args.no_check))
+    return 0
+
+
+def _cmd_bus(args: argparse.Namespace) -> int:
+    """Run a workload on the bus-based snoopy machine (Section 6)."""
+    from repro.snoopy import SnoopyConfig, SnoopyMachine
+    from repro.workloads import make_workload
+
+    policy = _policy_by_name(args.protocol)
+    config = SnoopyConfig(
+        num_processors=args.processors,
+        policy=policy,
+        protocol=args.base,
+        check_coherence=not args.no_check,
+    )
+    machine = SnoopyMachine(config)
+    workload = make_workload(args.workload, args.processors, args.preset)
+    result = machine.run(workload.programs())
+    print(f"workload:         {args.workload} on {args.processors}-way bus")
+    print(f"protocol:         {args.base} / {policy.name}")
+    print(f"execution time:   {result.execution_time} pclocks")
+    print(f"bus transactions: {result.bus_transactions}")
+    print(f"bus traffic:      {result.bus_bits} bits")
+    print(f"bus utilization:  {result.bus_utilization:.1%}")
+    for counter in ("rxq_received", "nominations", "migrating_promotions",
+                    "updates_broadcast"):
+        print(f"  {counter:<22}{result.counter(counter)}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(WORKLOADS):
+        presets = ", ".join(sorted(PRESETS.get(name, {"default": {}}))) or "default"
+        rows.append((name, presets))
+    print(format_table(("workload", "presets"), rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description=(
+            "Reproduction of 'An Adaptive Cache Coherence Protocol Optimized "
+            "for Migratory Sharing' (ISCA 1993)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload under one protocol")
+    run_p.add_argument("workload", choices=sorted(WORKLOADS))
+    run_p.add_argument("--protocol", default="AD")
+    run_p.add_argument("--consistency", default="SC")
+    run_p.add_argument("--preset", default="default")
+    run_p.add_argument("--no-check", action="store_true",
+                       help="disable coherence invariant checking")
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run W-I vs AD and report reductions")
+    cmp_p.add_argument("workload", choices=sorted(WORKLOADS))
+    cmp_p.add_argument("--consistency", default="SC")
+    cmp_p.add_argument("--preset", default="default")
+    cmp_p.add_argument("--no-check", action="store_true")
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    t1_p = sub.add_parser("table1", help="measure the Table 1 latencies")
+    t1_p.set_defaults(func=_cmd_table1)
+
+    prof_p = sub.add_parser(
+        "profile", help="classify blocks by sharing pattern (Gupta-Weber)"
+    )
+    prof_p.add_argument("workload", choices=sorted(WORKLOADS))
+    prof_p.add_argument("--protocol", default="W-I")
+    prof_p.add_argument("--consistency", default="SC")
+    prof_p.add_argument("--preset", default="default")
+    prof_p.add_argument("--no-check", action="store_true")
+    prof_p.set_defaults(func=_cmd_profile)
+
+    verify_p = sub.add_parser("verify", help="exhaustively model-check the protocol")
+    verify_p.add_argument("--protocol", default="AD")
+    verify_p.add_argument("--caches", type=int, default=2)
+    verify_p.add_argument("--ops", type=int, default=2)
+    verify_p.set_defaults(func=_cmd_verify)
+
+    bus_p = sub.add_parser("bus", help="run on the bus-based snoopy machine")
+    bus_p.add_argument("workload", choices=sorted(WORKLOADS))
+    bus_p.add_argument("--protocol", default="AD",
+                       help="W-I or AD (coherence policy)")
+    bus_p.add_argument("--base", default="invalidate",
+                       choices=("invalidate", "update"),
+                       help="base snoopy protocol")
+    bus_p.add_argument("--processors", type=int, default=8)
+    bus_p.add_argument("--preset", default="tiny")
+    bus_p.add_argument("--no-check", action="store_true")
+    bus_p.set_defaults(func=_cmd_bus)
+
+    rep_p = sub.add_parser("report", help="reproduce every table and figure")
+    rep_p.add_argument("--preset", default="default")
+    rep_p.add_argument("--no-check", action="store_true")
+    rep_p.set_defaults(func=_cmd_report)
+
+    list_p = sub.add_parser("list", help="list available workloads")
+    list_p.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,568 @@
+"""Cache controller: the processor-side protocol engine.
+
+Handles processor reads/writes against the local cache array, issues
+read-miss (Rr) and read-exclusive (Rxq) transactions to home directories,
+services forwarded requests (FwdRr / FwdRxq / Mr) as an owner, and
+collects invalidation acknowledgements as a requester (DASH style).
+
+Race handling (see DESIGN.md Section 3.1):
+
+* Externally forwarded requests that hit a line with an outstanding MSHR
+  are deferred until the fill completes; fills never depend on deferred
+  service, so this cannot deadlock.
+* Invalidations are *never* deferred: they are acknowledged immediately,
+  and a pending read fill is marked consume-once (deliver the value to
+  the processor, do not install) — the read is globally ordered before
+  the invalidating write because its transaction reached home first.
+* A forward that arrives after the line was written back is NAKed while
+  the writeback buffer entry exists (until home's Wack).
+* A line received through migration (Mack) may not be replaced until
+  home's MIack arrives (``replace_locked``); evictions needing a locked
+  frame wait for the MIack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.messages import CoherenceMessage, MsgKind
+from repro.coherence.transport import Transport
+from repro.core.policy import ProtocolPolicy
+from repro.memory.cache import CacheArray, CacheState
+from repro.sim.engine import SimulationError, Simulator
+from repro.stats.counters import Counters
+
+DoneCallback = Callable[[], None]
+
+
+class MSHR:
+    """Miss status holding register for one outstanding block transaction."""
+
+    __slots__ = (
+        "block",
+        "is_write",
+        "is_upgrade",
+        "is_prefetch",
+        "data_received",
+        "version",
+        "fill_state",
+        "acks_expected",
+        "acks_received",
+        "invalidate_on_fill",
+        "miack_needed",
+        "miack_received",
+        "waiters",
+        "deferred",
+        "issued_at",
+    )
+
+    def __init__(self, block: int, is_write: bool, is_upgrade: bool, now: int) -> None:
+        self.block = block
+        self.is_write = is_write
+        self.is_upgrade = is_upgrade
+        self.is_prefetch = False
+        self.data_received = False
+        self.version = 0
+        self.fill_state: Optional[CacheState] = None
+        self.acks_expected: Optional[int] = None
+        self.acks_received = 0
+        self.invalidate_on_fill = False
+        self.miack_needed = False
+        self.miack_received = False
+        #: Local processor operations queued behind this miss (WO mode):
+        #: list of ("r" | "w", callback).
+        self.waiters: List[Tuple[str, DoneCallback]] = []
+        #: External forwards deferred until this transaction retires.
+        self.deferred: List[CoherenceMessage] = []
+        self.issued_at = now
+
+
+class CacheController:
+    """One node's cache + its coherence engine."""
+
+    def __init__(
+        self,
+        node: int,
+        sim: Simulator,
+        transport: Transport,
+        cache: CacheArray,
+        home_of: Callable[[int], int],
+        policy: ProtocolPolicy,
+        checker: CoherenceChecker,
+        counters: Counters,
+        service_delay: int = 4,
+    ) -> None:
+        self.node = node
+        self.sim = sim
+        self.transport = transport
+        self.cache = cache
+        self.home_of = home_of
+        self.policy = policy
+        self.checker = checker
+        self.counters = counters
+        #: Tag check + data-array read time when servicing a forward.
+        self.service_delay = service_delay
+        self.mshrs: Dict[int, MSHR] = {}
+        #: Dirty data in flight to home: block -> outstanding writeback count.
+        self.wb_buffer: Dict[int, int] = {}
+        #: Versions of in-flight writebacks (for NAK-free sanity checks).
+        self._wb_versions: Dict[int, int] = {}
+        #: Retirements waiting for a replace_locked frame to unlock.
+        self._miack_waiters: List[Callable[[], None]] = []
+        #: Version observed by the most recent completed processor read
+        #: (consumed by consistency litmus tests).
+        self.last_read_version = 0
+        # Miss classification state.
+        self._seen: Set[int] = set()
+        self._lost_to_inv: Set[int] = set()
+        transport.register_cache(node, self.handle)
+
+    # ------------------------------------------------------------------
+    # Processor interface
+    # ------------------------------------------------------------------
+    def read(self, addr: int, done: DoneCallback) -> None:
+        """Perform a processor read; ``done()`` fires when it completes."""
+        block = self.cache.block_of(addr)
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            mshr.waiters.append(("r", done))
+            return
+        line = self.cache.lookup(block)
+        if line is not None:
+            self.cache.touch(line)
+            self.counters.inc("read_hits")
+            self.checker.on_read(self.node, block, line.version)
+            self.last_read_version = line.version
+            done()
+            return
+        self.counters.inc("read_misses")
+        self._classify_miss(block)
+        self._start_miss(block, is_write=False, is_upgrade=False, done=done)
+
+    def write(self, addr: int, done: DoneCallback) -> None:
+        """Perform a processor write; ``done()`` fires when it performs."""
+        block = self.cache.block_of(addr)
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            mshr.waiters.append(("w", done))
+            return
+        line = self.cache.lookup(block)
+        if line is not None and line.state in (CacheState.DIRTY, CacheState.MIGRATING):
+            if line.state is CacheState.MIGRATING:
+                # The adaptive protocol's payoff: the write that would have
+                # been a read-exclusive request happens entirely locally.
+                self.counters.inc("migrating_promotions")
+                line.state = CacheState.DIRTY
+            self.cache.touch(line)
+            self.counters.inc("write_hits")
+            line.version = self.checker.on_write(self.node, block, line.version)
+            done()
+            return
+        if line is not None:  # Shared: upgrade.
+            self.counters.inc("write_upgrades")
+            self._start_miss(block, is_write=True, is_upgrade=True, done=done)
+            return
+        self.counters.inc("write_misses")
+        self._classify_miss(block)
+        self._start_miss(block, is_write=True, is_upgrade=False, done=done)
+
+    def prefetch_exclusive(self, addr: int) -> bool:
+        """Non-binding read-exclusive prefetch (paper Section 6).
+
+        Requests ownership of the block without blocking the processor.
+        Dropped (returns False) when the line is already writable or a
+        transaction for the block is outstanding.
+        """
+        block = self.cache.block_of(addr)
+        if block in self.mshrs:
+            return False
+        line = self.cache.lookup(block)
+        if line is not None and line.state in (CacheState.DIRTY, CacheState.MIGRATING):
+            return False
+        self.counters.inc("prefetches_issued")
+        is_upgrade = line is not None
+        mshr = MSHR(block, True, is_upgrade, self.sim.now)
+        mshr.is_prefetch = True
+        self.mshrs[block] = mshr
+        self.transport.send(
+            CoherenceMessage(
+                src=self.node, dst=self.home_of(block), kind=MsgKind.RXQ,
+                block=block, requester=self.node, src_is_cache=True,
+            )
+        )
+        return True
+
+    def outstanding(self) -> int:
+        """Number of in-flight transactions (for weak-ordering fences)."""
+        return len(self.mshrs)
+
+    # ------------------------------------------------------------------
+    # Miss path
+    # ------------------------------------------------------------------
+    def _start_miss(
+        self, block: int, *, is_write: bool, is_upgrade: bool, done: DoneCallback
+    ) -> None:
+        mshr = MSHR(block, is_write, is_upgrade, self.sim.now)
+        mshr.waiters.append(("w" if is_write else "r", done))
+        self.mshrs[block] = mshr
+        kind = MsgKind.RXQ if is_write else MsgKind.RR
+        self.transport.send(
+            CoherenceMessage(
+                src=self.node, dst=self.home_of(block), kind=kind,
+                block=block, requester=self.node, src_is_cache=True,
+            )
+        )
+
+    def _classify_miss(self, block: int) -> None:
+        if block not in self._seen:
+            self._seen.add(block)
+            self.counters.inc("cold_misses")
+        elif block in self._lost_to_inv:
+            self.counters.inc("coherence_misses")
+        else:
+            self.counters.inc("replacement_misses")
+        self._lost_to_inv.discard(block)
+
+    def _ensure_frame(self, block: int) -> bool:
+        """Free the frame ``block`` will occupy.  False if blocked on MIack."""
+        victim = self.cache.victim_for(block)
+        if not victim.valid:
+            return True
+        if victim.replace_locked:
+            return False
+        victim_block = self.cache.block_from(victim.tag, self.cache.set_index(block))
+        if victim.state in (CacheState.DIRTY, CacheState.MIGRATING):
+            self.counters.inc("writebacks")
+            self.wb_buffer[victim_block] = self.wb_buffer.get(victim_block, 0) + 1
+            self._wb_versions[victim_block] = victim.version
+            self.checker.release_writable(self.node, victim_block)
+            self.transport.send(
+                CoherenceMessage(
+                    src=self.node, dst=self.home_of(victim_block), kind=MsgKind.WB,
+                    block=victim_block, requester=self.node,
+                    version=victim.version, src_is_cache=True,
+                )
+            )
+        else:
+            self.counters.inc("evictions_clean")
+        victim.invalidate()
+        return True
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle(self, msg: CoherenceMessage) -> None:
+        kind = msg.kind
+        if kind is MsgKind.RP:
+            self._on_fill(msg, CacheState.SHARED)
+        elif kind is MsgKind.RXP:
+            mshr = self._mshr_for(msg)
+            mshr.acks_expected = msg.n_invals
+            # An RXP from another cache (forwarded Rxq) transfers ownership
+            # behind home's back: hold the line until home's MIack.
+            mshr.miack_needed = msg.miack_needed
+            self._on_fill(msg, CacheState.DIRTY)
+        elif kind is MsgKind.MACK:
+            mshr = self._mshr_for(msg)
+            mshr.miack_needed = msg.miack_needed
+            fill = CacheState.DIRTY if mshr.is_write else CacheState.MIGRATING
+            self._on_fill(msg, fill)
+        elif kind is MsgKind.IACK:
+            mshr = self._mshr_for(msg)
+            mshr.acks_received += 1
+            self._maybe_complete(mshr)
+        elif kind is MsgKind.MIACK:
+            self._on_miack(msg)
+        elif kind is MsgKind.INV:
+            self._on_invalidate(msg)
+        elif kind is MsgKind.FWD_RR:
+            self._serve_forward(msg, exclusive=False)
+        elif kind is MsgKind.FWD_RXQ:
+            self._serve_forward(msg, exclusive=True)
+        elif kind is MsgKind.MR:
+            self._serve_migratory(msg)
+        elif kind is MsgKind.WACK:
+            self._on_wack(msg)
+        else:
+            raise SimulationError(f"cache {self.node} got unexpected {msg!r}")
+
+    def _mshr_for(self, msg: CoherenceMessage) -> MSHR:
+        mshr = self.mshrs.get(msg.block)
+        if mshr is None:
+            raise SimulationError(f"cache {self.node}: no MSHR for {msg!r}")
+        return mshr
+
+
+    def _send_after_service(self, msg: CoherenceMessage) -> None:
+        """Send a response after the tag-check/data-array service delay."""
+        self.sim.schedule(self.service_delay, lambda: self.transport.send(msg))
+
+    # ------------------------------------------------------------------
+    # Fills and completion
+    # ------------------------------------------------------------------
+    def _on_fill(self, msg: CoherenceMessage, state: CacheState) -> None:
+        mshr = self._mshr_for(msg)
+        mshr.data_received = True
+        mshr.version = msg.version
+        mshr.fill_state = state
+        self._maybe_complete(mshr)
+
+    def _maybe_complete(self, mshr: MSHR) -> None:
+        if not mshr.data_received:
+            return
+        if mshr.is_write:
+            if mshr.fill_state is CacheState.DIRTY and mshr.acks_expected is not None:
+                if mshr.acks_received < mshr.acks_expected:
+                    return
+            elif mshr.fill_state is CacheState.DIRTY and mshr.acks_expected is None:
+                # Data came from an owner (forwarded Rxq or migration):
+                # no invalidation acks to collect.
+                pass
+        self._retire(mshr)
+
+    def _retire(self, mshr: MSHR) -> None:
+        block = mshr.block
+        # An invalidation observed while the fill was in flight only voids
+        # a *shared* fill: a fill that grants ownership (Rxp/Mack, or a
+        # forwarded exclusive reply) was serialized at home after the
+        # invalidating write, so it is fresh — and home has recorded us as
+        # owner, so we must install it.
+        consume_once = (
+            mshr.invalidate_on_fill and mshr.fill_state is CacheState.SHARED
+        )
+        if not consume_once:
+            line = self.cache.lookup(block)
+            if line is None:
+                if not self._ensure_frame(block):
+                    # Victim frame awaits its MIack; retry when it arrives.
+                    self._miack_waiters.append(lambda: self._retire(mshr))
+                    return
+                line = self.cache.install(block, mshr.fill_state, mshr.version)
+            else:
+                # Upgrade: promote the (still valid) Shared copy in place.
+                line.state = mshr.fill_state
+                line.version = mshr.version
+                self.cache.touch(line)
+            if mshr.fill_state in (CacheState.DIRTY, CacheState.MIGRATING):
+                self.checker.acquire_writable(self.node, block)
+            if mshr.miack_needed and not mshr.miack_received:
+                line.replace_locked = True
+            if mshr.is_prefetch:
+                pass  # ownership acquired, but no access performed yet
+            elif mshr.is_write:
+                line.version = self.checker.on_write(self.node, block, line.version)
+            else:
+                self.checker.on_read(self.node, block, line.version)
+                self.last_read_version = line.version
+        else:
+            # Consume-once fill: the value is delivered to the processor but
+            # an invalidation arrived while the fill was in flight.
+            self.checker.on_read(self.node, block, mshr.version)
+            self.last_read_version = mshr.version
+            self._lost_to_inv.add(block)
+
+        del self.mshrs[block]
+
+        # Wake local processor operations first (program order), then any
+        # deferred external forwards (which see the just-installed line).
+        waiters = mshr.waiters
+        deferred = mshr.deferred
+        for index, (op, callback) in enumerate(waiters):
+            if index == 0 and not mshr.is_prefetch:
+                # The operation that started the miss performed as part of
+                # the fill above (or consumed the one-shot fill value).
+                callback()
+                continue
+            # Later waiters (and every waiter queued behind a prefetch,
+            # which performs no access itself) re-execute against the
+            # freshly installed line.
+            if op == "r":
+                self.read(block * self.cache.line_bytes, callback)
+            else:
+                self.write(block * self.cache.line_bytes, callback)
+        for fwd in deferred:
+            self.handle(fwd)
+
+    # ------------------------------------------------------------------
+    # External requests
+    # ------------------------------------------------------------------
+    def _on_invalidate(self, msg: CoherenceMessage) -> None:
+        block = msg.block
+        mshr = self.mshrs.get(block)
+        line = self.cache.lookup(block)
+        if line is not None and line.state is CacheState.SHARED:
+            line.invalidate()
+            self._lost_to_inv.add(block)
+        elif line is not None:
+            raise SimulationError(
+                f"cache {self.node}: Inv for {line.state} line, block {block}"
+            )
+        if mshr is not None and not mshr.is_write:
+            # The pending read was ordered before the invalidating write;
+            # deliver its value once, but do not cache it.
+            mshr.invalidate_on_fill = True
+        # Acknowledge straight to the writing requester (never deferred:
+        # deferring an Iack behind our own miss could deadlock).
+        self.counters.inc("iacks_sent")
+        self.transport.send(
+            CoherenceMessage(
+                src=self.node, dst=msg.requester, kind=MsgKind.IACK,
+                block=block, requester=msg.requester, src_is_cache=True,
+            )
+        )
+
+    def _serve_forward(self, msg: CoherenceMessage, *, exclusive: bool) -> None:
+        block = msg.block
+        # A writeback in flight means this forward targets the ownership we
+        # already gave up: NAK before considering any new MSHR we may have
+        # opened for the same block (deferring would deadlock — our own
+        # fill is queued at home behind this very transaction).
+        if self.wb_buffer.get(block, 0) > 0:
+            self._nak(msg)
+            return
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            mshr.deferred.append(msg)
+            return
+        line = self.cache.lookup(block)
+        if line is None:
+            self._nak(msg)
+            return
+        if line.state is not CacheState.DIRTY:
+            raise SimulationError(
+                f"cache {self.node}: forward for {line.state} line, block {block}"
+            )
+        if exclusive:
+            self._send_after_service(
+                CoherenceMessage(
+                    src=self.node, dst=msg.requester, kind=MsgKind.RXP,
+                    block=block, requester=msg.requester,
+                    version=line.version, n_invals=0, src_is_cache=True,
+                )
+            )
+            self._send_after_service(
+                CoherenceMessage(
+                    src=self.node, dst=self.home_of(block), kind=MsgKind.XFER,
+                    block=block, requester=msg.requester, src_is_cache=True,
+                )
+            )
+            self.checker.release_writable(self.node, block)
+            line.invalidate()
+            self._lost_to_inv.add(block)
+        else:
+            self._send_after_service(
+                CoherenceMessage(
+                    src=self.node, dst=msg.requester, kind=MsgKind.RP,
+                    block=block, requester=msg.requester,
+                    version=line.version, src_is_cache=True,
+                )
+            )
+            self._send_after_service(
+                CoherenceMessage(
+                    src=self.node, dst=self.home_of(block), kind=MsgKind.SW,
+                    block=block, requester=msg.requester,
+                    version=line.version, src_is_cache=True,
+                )
+            )
+            self.checker.release_writable(self.node, block)
+            line.state = CacheState.SHARED
+
+    def _serve_migratory(self, msg: CoherenceMessage) -> None:
+        block = msg.block
+        if self.wb_buffer.get(block, 0) > 0:
+            self._nak(msg)
+            return
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            mshr.deferred.append(msg)
+            return
+        line = self.cache.lookup(block)
+        if line is None:
+            self._nak(msg)
+            return
+        if (
+            line.state is CacheState.MIGRATING
+            and not msg.for_write
+            and self.policy.nomig_enabled
+        ):
+            # NoMig (Section 3.4): this processor never wrote the block —
+            # the sharing is read-only, so refuse migration, answer like an
+            # ordinary dirty read, and revert the block at home.
+            line.state = CacheState.SHARED
+            line.replace_locked = False
+            self.checker.release_writable(self.node, block)
+            self._send_after_service(
+                CoherenceMessage(
+                    src=self.node, dst=msg.requester, kind=MsgKind.RP,
+                    block=block, requester=msg.requester,
+                    version=line.version, src_is_cache=True,
+                )
+            )
+            self._send_after_service(
+                CoherenceMessage(
+                    src=self.node, dst=self.home_of(block), kind=MsgKind.NOMIG,
+                    block=block, requester=msg.requester,
+                    version=line.version, src_is_cache=True,
+                )
+            )
+            return
+        if line.state not in (CacheState.DIRTY, CacheState.MIGRATING):
+            raise SimulationError(
+                f"cache {self.node}: Mr for {line.state} line, block {block}"
+            )
+        # Give up ownership: data to the requester, dirty-transfer to home.
+        self._send_after_service(
+            CoherenceMessage(
+                src=self.node, dst=msg.requester, kind=MsgKind.MACK,
+                block=block, requester=msg.requester,
+                version=line.version, miack_needed=True, src_is_cache=True,
+            )
+        )
+        self._send_after_service(
+            CoherenceMessage(
+                src=self.node, dst=self.home_of(block), kind=MsgKind.DT,
+                block=block, requester=msg.requester, src_is_cache=True,
+            )
+        )
+        self.checker.release_writable(self.node, block)
+        line.invalidate()
+        self._lost_to_inv.add(block)
+
+    def _nak(self, msg: CoherenceMessage) -> None:
+        if self.wb_buffer.get(msg.block, 0) <= 0:
+            raise SimulationError(
+                f"cache {self.node}: forward {msg!r} for a block we neither "
+                "hold nor are writing back"
+            )
+        self._send_after_service(
+            CoherenceMessage(
+                src=self.node, dst=self.home_of(msg.block), kind=MsgKind.NAK,
+                block=msg.block, requester=msg.requester, src_is_cache=True,
+            )
+        )
+
+    def _on_miack(self, msg: CoherenceMessage) -> None:
+        block = msg.block
+        mshr = self.mshrs.get(block)
+        if mshr is not None:
+            mshr.miack_received = True
+        line = self.cache.lookup(block)
+        if line is not None:
+            line.replace_locked = False
+        waiters, self._miack_waiters = self._miack_waiters, []
+        for retry in waiters:
+            retry()
+
+    def _on_wack(self, msg: CoherenceMessage) -> None:
+        count = self.wb_buffer.get(msg.block, 0)
+        if count <= 0:
+            raise SimulationError(
+                f"cache {self.node}: Wack for block {msg.block} with no "
+                "writeback outstanding"
+            )
+        if count == 1:
+            del self.wb_buffer[msg.block]
+            self._wb_versions.pop(msg.block, None)
+        else:
+            self.wb_buffer[msg.block] = count - 1

@@ -1,0 +1,459 @@
+"""Home directory controller.
+
+One :class:`DirectoryController` per node owns the directory state for
+every memory block whose home is that node.  It implements the DASH
+write-invalidate protocol of the paper's Section 3.1 and — when the
+policy enables it — the adaptive migratory extension of Sections 3.2-3.4.
+
+Transaction serialization
+-------------------------
+
+Transactions that require a forward to a remote owner (read or
+read-exclusive to a Dirty-Remote block, any access to a Migratory-Dirty
+block) latch the entry ``busy`` and queue subsequent requests; the owner's
+response (Sw / Xfer / DT / NoMig) completes the transaction and drains the
+queue.  Requests that can be answered from home memory (Uncached /
+Shared-Remote / Migratory-Uncached) complete immediately; invalidation
+acknowledgements are collected by the *requester* (DASH style), so the
+read-exclusive flow does not hold the entry busy.
+
+A forward that reaches a cache which has already written the block back
+is NAKed; the NAK re-queues the transaction, which is retried once the
+writeback (guaranteed to be in flight) arrives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.coherence.messages import CoherenceMessage, MsgKind
+from repro.coherence.states import HOME_VALID_STATES, DirState
+from repro.coherence.transport import Transport
+from repro.core.detection import LastWriterTracker, should_nominate
+from repro.core.policy import ProtocolPolicy
+from repro.memory.dram import MemoryModule
+from repro.sim.engine import SimulationError, Simulator
+from repro.stats.counters import Counters
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one memory block."""
+
+    state: DirState = DirState.UNCACHED
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    lw: LastWriterTracker = field(default_factory=LastWriterTracker)
+    #: Home memory's data version (valid in HOME_VALID_STATES).
+    version: int = 0
+    #: A forwarded transaction is in flight.
+    busy: bool = False
+    #: The forward was NAKed; waiting for the owner's writeback to land.
+    awaiting_wb: bool = False
+    #: The transaction being serviced by the in-flight forward, plus
+    #: whether its completion demotes the block to Dirty-Remote
+    #: (Figure 4 dashed-arrow heuristic).
+    inflight: Optional[Tuple[CoherenceMessage, bool]] = None
+    pending: Deque[CoherenceMessage] = field(default_factory=deque)
+
+
+class DirectoryController:
+    """The home-side protocol engine for one node's memory module."""
+
+    def __init__(
+        self,
+        node: int,
+        sim: Simulator,
+        transport: Transport,
+        memory: MemoryModule,
+        policy: ProtocolPolicy,
+        counters: Counters,
+        profiler=None,
+    ) -> None:
+        self.node = node
+        self.sim = sim
+        self.transport = transport
+        self.memory = memory
+        self.policy = policy
+        self.counters = counters
+        #: Optional per-block sharing profiler
+        #: (:class:`repro.stats.block_profile.BlockProfiler`).
+        self.profiler = profiler
+        self.entries: Dict[int, DirectoryEntry] = {}
+        transport.register_directory(node, self.handle)
+
+    def entry(self, block: int) -> DirectoryEntry:
+        e = self.entries.get(block)
+        if e is None:
+            e = DirectoryEntry()
+            self.entries[block] = e
+        return e
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle(self, msg: CoherenceMessage) -> None:
+        e = self.entry(msg.block)
+        kind = msg.kind
+        if kind is MsgKind.RR:
+            self.counters.inc("rr_received")
+            if e.busy:
+                e.pending.append(msg)
+            else:
+                self._process(e, msg)
+        elif kind is MsgKind.RXQ:
+            self.counters.inc("rxq_received")
+            if e.busy:
+                e.pending.append(msg)
+            else:
+                self._process(e, msg)
+        elif kind is MsgKind.SW:
+            self._on_sharing_writeback(e, msg)
+        elif kind is MsgKind.XFER:
+            self._on_ownership_transfer(e, msg)
+        elif kind is MsgKind.DT:
+            self._on_dirty_transfer(e, msg)
+        elif kind is MsgKind.NOMIG:
+            self._on_nomig(e, msg)
+        elif kind is MsgKind.NAK:
+            self._on_nak(e, msg)
+        elif kind is MsgKind.WB:
+            self._on_writeback(e, msg)
+        else:
+            raise SimulationError(f"directory {self.node} got unexpected {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Request processing (entry not busy)
+    # ------------------------------------------------------------------
+    def _process(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        if msg.kind is MsgKind.RR:
+            self._process_read(e, msg)
+        elif msg.kind is MsgKind.RXQ:
+            self._process_read_exclusive(e, msg)
+        else:  # pragma: no cover - queue only ever holds RR/RXQ
+            raise SimulationError(f"unexpected queued message {msg!r}")
+
+    def _process_read(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        i = msg.requester
+        block = msg.block
+        if self.profiler is not None:
+            self.profiler.on_read(block, i)
+        if e.state in (DirState.UNCACHED, DirState.SHARED_REMOTE):
+            done = self.memory.access(self.sim.now)
+            e.state = DirState.SHARED_REMOTE
+            e.sharers.add(i)
+            e.lw.note_sharer_count(len(e.sharers))
+            self._send_at(
+                done,
+                CoherenceMessage(
+                    src=self.node, dst=i, kind=MsgKind.RP,
+                    block=block, requester=i, version=e.version,
+                    src_is_cache=False,
+                ),
+            )
+        elif e.state is DirState.MIGRATORY_UNCACHED:
+            # Adaptive: serve the read with ownership directly from memory;
+            # the requester installs the line in Migrating state.  The
+            # directory is updated before the reply leaves, so no MIack
+            # round is needed.
+            done = self.memory.access(self.sim.now)
+            e.state = DirState.MIGRATORY_DIRTY
+            e.owner = i
+            e.sharers = set()
+            self._send_at(
+                done,
+                CoherenceMessage(
+                    src=self.node, dst=i, kind=MsgKind.MACK,
+                    block=block, requester=i, version=e.version,
+                    miack_needed=False, src_is_cache=False,
+                ),
+            )
+        elif e.state is DirState.DIRTY_REMOTE:
+            if e.owner == i:
+                self._wait_for_writeback(e, msg)
+            else:
+                self._forward(e, msg, MsgKind.FWD_RR, demote=False)
+        elif e.state is DirState.MIGRATORY_DIRTY:
+            if e.owner == i:
+                self._wait_for_writeback(e, msg)
+            else:
+                self.counters.inc("migratory_reads")
+                self._forward(e, msg, MsgKind.MR, demote=False, for_write=False)
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"bad state {e.state} for {msg!r}")
+
+    def _process_read_exclusive(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        i = msg.requester
+        block = msg.block
+        if e.state is DirState.UNCACHED:
+            done = self.memory.access(self.sim.now)
+            e.state = DirState.DIRTY_REMOTE
+            e.owner = i
+            e.sharers = set()
+            e.lw.record_write(i)
+            self._record_inval_count(0, block, i)
+            self._send_rxp(done, i, block, n_invals=0, version=e.version)
+        elif e.state is DirState.SHARED_REMOTE:
+            others = e.sharers - {i}
+            nominate = self.policy.adaptive and should_nominate(
+                len(e.sharers), i, e.lw.value
+            )
+            done = self.memory.access(self.sim.now)
+            if nominate:
+                self.counters.inc("nominations")
+                e.state = DirState.MIGRATORY_DIRTY
+            else:
+                e.state = DirState.DIRTY_REMOTE
+            e.owner = i
+            e.sharers = set()
+            e.lw.record_write(i)
+            self._record_inval_count(len(others), block, i)
+            self._send_rxp(done, i, block, n_invals=len(others), version=e.version)
+            for sharer in others:
+                self.counters.inc("invalidations_sent")
+                self._send_at(
+                    done,
+                    CoherenceMessage(
+                        src=self.node, dst=sharer, kind=MsgKind.INV,
+                        block=block, requester=i, src_is_cache=False,
+                    ),
+                )
+        elif e.state is DirState.DIRTY_REMOTE:
+            if e.owner == i:
+                self._wait_for_writeback(e, msg)
+            else:
+                # The previous owner's copy is displaced: Gupta-Weber count
+                # this as a single invalidation.
+                self._record_inval_count(1, block, i)
+                self._forward(e, msg, MsgKind.FWD_RXQ, demote=False)
+        elif e.state is DirState.MIGRATORY_DIRTY:
+            if e.owner == i:
+                self._wait_for_writeback(e, msg)
+            else:
+                # First access by the new processor is a write (paper §3.4):
+                # default policy keeps the block migratory and transfers
+                # ownership; the heuristic demotes it to Dirty-Remote.
+                demote = self.policy.rxq_reverts_to_ordinary
+                if demote:
+                    self.counters.inc("rxq_demotions")
+                self.counters.inc("migratory_reads")
+                self._forward(e, msg, MsgKind.MR, demote=demote, for_write=True)
+        elif e.state is DirState.MIGRATORY_UNCACHED:
+            done = self.memory.access(self.sim.now)
+            if self.policy.rxq_reverts_to_ordinary:
+                self.counters.inc("rxq_demotions")
+                e.state = DirState.DIRTY_REMOTE
+                e.lw.record_write(i)
+            else:
+                e.state = DirState.MIGRATORY_DIRTY
+            e.owner = i
+            e.sharers = set()
+            self._send_rxp(done, i, block, n_invals=0, version=e.version)
+        else:  # pragma: no cover - exhaustive
+            raise SimulationError(f"bad state {e.state} for {msg!r}")
+
+    # ------------------------------------------------------------------
+    # Owner responses
+    # ------------------------------------------------------------------
+    def _on_sharing_writeback(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        """Sw: owner downgraded to Shared after a forwarded read."""
+        self._check_inflight(e, msg)
+        e.state = DirState.SHARED_REMOTE
+        e.version = msg.version
+        e.sharers = {msg.src, msg.requester}
+        e.owner = None
+        e.lw.note_sharer_count(len(e.sharers))
+        self._complete(e)
+
+    def _on_ownership_transfer(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        """Xfer: owner passed its exclusive copy for a forwarded Rxq.
+
+        Like the migratory DT flow, the new owner may not replace the
+        block until this directory update is acknowledged — otherwise its
+        writeback could reach home before the Xfer and corrupt the
+        directory (found by the model checker in repro.verify).
+        """
+        self._check_inflight(e, msg)
+        done = self.memory.directory_access(self.sim.now)
+        e.state = DirState.DIRTY_REMOTE
+        e.owner = msg.requester
+        e.sharers = set()
+        e.lw.record_write(msg.requester)
+        self._send_at(
+            done,
+            CoherenceMessage(
+                src=self.node, dst=msg.requester, kind=MsgKind.MIACK,
+                block=msg.block, requester=msg.requester, src_is_cache=False,
+            ),
+        )
+        self._complete(e)
+
+    def _on_dirty_transfer(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        """DT: migratory ownership moved to the requester (Figure 3)."""
+        _inflight_msg, demote = self._check_inflight(e, msg)
+        done = self.memory.directory_access(self.sim.now)
+        if demote:
+            e.state = DirState.DIRTY_REMOTE
+            e.lw.record_write(msg.requester)
+        else:
+            e.state = DirState.MIGRATORY_DIRTY
+        e.owner = msg.requester
+        e.sharers = set()
+        # Home's directory is now updated; release the requester's
+        # replacement lock (Figure 3's MIack).
+        self._send_at(
+            done,
+            CoherenceMessage(
+                src=self.node, dst=msg.requester, kind=MsgKind.MIACK,
+                block=msg.block, requester=msg.requester, src_is_cache=False,
+            ),
+        )
+        self._complete(e)
+
+    def _on_nomig(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        """NoMig: the owner refused migration (read-only sharing detected).
+
+        Carries the writeback data (plays Sw's role); the block reverts to
+        ordinary Shared-Remote and detection state is reset.
+        """
+        self._check_inflight(e, msg)
+        self.counters.inc("nomig_reverts")
+        e.state = DirState.SHARED_REMOTE
+        e.version = msg.version
+        e.sharers = {msg.src, msg.requester}
+        e.owner = None
+        e.lw.invalidate()
+        self._complete(e)
+
+    def _on_nak(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        """The forward missed: the owner's writeback is in flight."""
+        self.counters.inc("naks")
+        inflight_msg, _demote = self._check_inflight(e, msg)
+        e.inflight = None
+        e.pending.appendleft(inflight_msg)
+        if e.state in HOME_VALID_STATES:
+            # The writeback already landed; retry immediately.
+            e.busy = False
+            self._drain(e)
+        else:
+            e.awaiting_wb = True
+
+    def _on_writeback(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        """Replacement writeback of a Dirty or Migrating line."""
+        if e.owner != msg.src:
+            raise SimulationError(
+                f"writeback for block {msg.block} from node {msg.src}, "
+                f"but directory owner is {e.owner} (state {e.state})"
+            )
+        self.counters.inc("writebacks_received")
+        done = self.memory.access(self.sim.now)
+        if e.state is DirState.DIRTY_REMOTE:
+            e.state = DirState.UNCACHED
+        elif e.state is DirState.MIGRATORY_DIRTY:
+            # The nomination survives replacement (paper Section 3.3's
+            # Migratory-Uncached state exists exactly for this).
+            e.state = DirState.MIGRATORY_UNCACHED
+        else:  # pragma: no cover - owner check makes this unreachable
+            raise SimulationError(f"writeback in state {e.state}")
+        e.owner = None
+        e.version = msg.version
+        self._send_at(
+            done,
+            CoherenceMessage(
+                src=self.node, dst=msg.src, kind=MsgKind.WACK,
+                block=msg.block, requester=msg.src, src_is_cache=False,
+            ),
+        )
+        if e.busy and e.awaiting_wb:
+            e.busy = False
+            e.awaiting_wb = False
+            self._drain(e)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _forward(
+        self,
+        e: DirectoryEntry,
+        msg: CoherenceMessage,
+        kind: MsgKind,
+        *,
+        demote: bool,
+        for_write: bool = False,
+    ) -> None:
+        e.busy = True
+        e.inflight = (msg, demote)
+        done = self.memory.directory_access(self.sim.now)
+        self._send_at(
+            done,
+            CoherenceMessage(
+                src=self.node, dst=e.owner, kind=kind,
+                block=msg.block, requester=msg.requester,
+                for_write=for_write, src_is_cache=False,
+            ),
+        )
+
+    def _wait_for_writeback(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+        """The requester is the recorded owner: its writeback is in flight."""
+        e.busy = True
+        e.awaiting_wb = True
+        e.inflight = None
+        e.pending.appendleft(msg)
+
+    def _check_inflight(
+        self, e: DirectoryEntry, msg: CoherenceMessage
+    ) -> Tuple[CoherenceMessage, bool]:
+        if not e.busy or e.inflight is None:
+            raise SimulationError(
+                f"directory {self.node} got {msg!r} with no transaction in flight"
+            )
+        inflight_msg, demote = e.inflight
+        if inflight_msg.block != msg.block or inflight_msg.requester != msg.requester:
+            raise SimulationError(
+                f"response {msg!r} does not match in-flight {inflight_msg!r}"
+            )
+        return inflight_msg, demote
+
+    def _complete(self, e: DirectoryEntry) -> None:
+        e.busy = False
+        e.inflight = None
+        self._drain(e)
+
+    def _drain(self, e: DirectoryEntry) -> None:
+        while e.pending and not e.busy:
+            self._process(e, e.pending.popleft())
+
+    def _record_inval_count(
+        self, count: int, block: Optional[int] = None, requester: Optional[int] = None
+    ) -> None:
+        """Histogram of invalidations per read-exclusive request.
+
+        This is the invalidation-pattern analysis of Gupta & Weber that
+        the paper's Section 2.1 builds on (migratory sharing shows up as
+        a dominance of *single* invalidations).  Counts above 4 share one
+        bucket.
+        """
+        bucket = count if count < 4 else 4
+        self.counters.inc(f"inval_dist_{bucket}")
+        if self.profiler is not None and block is not None:
+            self.profiler.on_write(block, requester, count)
+
+    def _send_rxp(
+        self, at: int, dst: int, block: int, *, n_invals: int, version: int
+    ) -> None:
+        # Home updates the directory before replying, so no replacement
+        # lock is needed (miack_needed=False); only owner-to-owner
+        # transfers (FwdRxq / Mr) require the MIack round.
+        self._send_at(
+            at,
+            CoherenceMessage(
+                src=self.node, dst=dst, kind=MsgKind.RXP,
+                block=block, requester=dst, version=version,
+                n_invals=n_invals, miack_needed=False, src_is_cache=False,
+            ),
+        )
+
+    def _send_at(self, time: int, msg: CoherenceMessage) -> None:
+        self.sim.schedule_at(time, lambda: self.transport.send(msg))

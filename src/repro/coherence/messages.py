@@ -1,0 +1,147 @@
+"""Coherence protocol message vocabulary.
+
+Message names follow the paper's figures:
+
+* Figure 2(a) read miss to a dirty block: ``Rr`` (read-miss request),
+  forwarded ``Rr`` (we call it ``FWD_RR``), ``Rp`` (read reply with data),
+  ``Sw`` (sharing writeback to home, with data).
+* Figure 2(b) read-exclusive: ``Rxq`` (request), ``Rxp`` (reply with data),
+  ``Inv`` (invalidation), ``Iack`` (invalidation acknowledge, sent to the
+  requester).
+* Figure 3 migratory read: ``Mr`` (migratory read forward), ``Mack``
+  (ownership + data to the requester), ``DT`` (dirty-transfer notice to
+  home), ``MIack`` (home's directory-updated acknowledge).
+* Section 3.4: ``NoMig`` (owner refuses migration, block reverts to
+  ordinary; carries the writeback data, playing Sw's role as well).
+
+Plus the bookkeeping messages every real directory protocol needs:
+``Wb``/``Wack`` for replacement writebacks, ``Xfer`` for dirty ownership
+transfer on a forwarded read-exclusive, and ``Nak`` for forwards that
+reach a cache which has already written the block back.
+
+Sizes follow the paper's Section 5.2 accounting: a 40-bit header on every
+message, plus 128 bits on data-carrying ones.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.message import DATA_BITS, HEADER_BITS, NetworkMessage
+
+
+class MsgKind(enum.Enum):
+    # Requester -> home.
+    RR = "Rr"
+    RXQ = "Rxq"
+    # Home -> owner cache (forwards).
+    FWD_RR = "FwdRr"
+    FWD_RXQ = "FwdRxq"
+    MR = "Mr"
+    # Home or owner -> requester cache (replies).
+    RP = "Rp"
+    RXP = "Rxp"
+    MACK = "Mack"
+    # Home -> sharer caches.
+    INV = "Inv"
+    # Sharer -> requester.
+    IACK = "Iack"
+    # Owner -> home.
+    SW = "Sw"
+    DT = "DT"
+    XFER = "Xfer"
+    NOMIG = "NoMig"
+    NAK = "Nak"
+    # Replacement writebacks.
+    WB = "Wb"
+    WACK = "Wack"
+    # Home -> requester (adaptive: directory-updated acknowledge).
+    MIACK = "MIack"
+
+
+#: Message kinds that carry a cache line of data.
+DATA_KINDS = frozenset(
+    {MsgKind.RP, MsgKind.RXP, MsgKind.MACK, MsgKind.SW, MsgKind.NOMIG, MsgKind.WB}
+)
+
+#: Kinds delivered to a home directory controller (everything else goes to
+#: a cache controller).
+DIRECTORY_KINDS = frozenset(
+    {
+        MsgKind.RR,
+        MsgKind.RXQ,
+        MsgKind.SW,
+        MsgKind.DT,
+        MsgKind.XFER,
+        MsgKind.NOMIG,
+        MsgKind.NAK,
+        MsgKind.WB,
+    }
+)
+
+#: Kinds that travel on the reply mesh (data replies and acknowledgements
+#: flowing back toward a requester); all others use the request mesh.
+REPLY_NET_KINDS = frozenset(
+    {
+        MsgKind.RP,
+        MsgKind.RXP,
+        MsgKind.MACK,
+        MsgKind.IACK,
+        MsgKind.SW,
+        MsgKind.NOMIG,
+        MsgKind.WB,
+        MsgKind.NAK,
+    }
+)
+
+
+def message_bits(kind: MsgKind) -> int:
+    """Size in bits of a message of ``kind`` (paper Section 5.2)."""
+    return HEADER_BITS + (DATA_BITS if kind in DATA_KINDS else 0)
+
+
+@dataclass
+class CoherenceMessage(NetworkMessage):
+    """A protocol message; ``src``/``dst`` are node ids."""
+
+    kind: MsgKind = MsgKind.RR
+    #: Line-aligned block address the message concerns.
+    block: int = 0
+    #: Node id of the original requester (for forwards/acks routed via home).
+    requester: int = 0
+    #: Data version carried by data messages (coherence checking).
+    version: int = 0
+    #: For RXP: number of invalidation acks the requester must collect.
+    n_invals: int = 0
+    #: For MR: the requester's access is a write (suppresses NoMig revert).
+    for_write: bool = False
+    #: For MACK: whether the requester must hold the line unreplaceable
+    #: until home's MIack arrives (False when home itself supplied the data).
+    miack_needed: bool = True
+    #: True when the sending endpoint is a cache (affects local-bus timing).
+    src_is_cache: bool = True
+
+    def __post_init__(self) -> None:
+        self.bits = message_bits(self.kind)
+
+    @property
+    def carries_data(self) -> bool:
+        return self.kind in DATA_KINDS
+
+    @property
+    def dst_is_directory(self) -> bool:
+        return self.kind in DIRECTORY_KINDS
+
+    @property
+    def network(self) -> str:
+        from repro.network.interface import REPLY, REQUEST
+
+        return REPLY if self.kind in REPLY_NET_KINDS else REQUEST
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{self.kind.value} blk={self.block} {self.src}->{self.dst}"
+            f" req={self.requester} v={self.version}>"
+        )

@@ -1,0 +1,37 @@
+"""Directory (home) states for memory blocks.
+
+The DASH base protocol has three global states (paper Section 3.1):
+Uncached, Shared-Remote, Dirty-Remote.  The adaptive extension (Section
+3.3) adds exactly two more: Migratory-Dirty and Migratory-Uncached.
+Local cache line states live in :mod:`repro.memory.cache`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DirState(enum.Enum):
+    """Global coherence state kept by the home directory for each block."""
+
+    #: Not cached anywhere but home memory.
+    UNCACHED = "U"
+    #: Valid copies exist in one or more caches; home memory is valid.
+    SHARED_REMOTE = "SR"
+    #: Exactly one cache holds a modified copy; home memory is stale.
+    DIRTY_REMOTE = "DR"
+    #: Block is nominated migratory and one cache holds it with ownership.
+    MIGRATORY_DIRTY = "MD"
+    #: Block is nominated migratory but was written back; home memory valid.
+    MIGRATORY_UNCACHED = "MU"
+
+
+#: States in which home memory holds valid data.
+HOME_VALID_STATES = (
+    DirState.UNCACHED,
+    DirState.SHARED_REMOTE,
+    DirState.MIGRATORY_UNCACHED,
+)
+
+#: States in which the block is considered migratory.
+MIGRATORY_STATES = (DirState.MIGRATORY_DIRTY, DirState.MIGRATORY_UNCACHED)

@@ -1,0 +1,141 @@
+"""Message transport: local bus hops + mesh traversal + delivery dispatch.
+
+Every coherence message moves between a cache controller and a directory
+controller (or another cache controller).  Timing composition:
+
+* a *cache* endpoint reaches the world over its node's local bus (split
+  transaction: arbitration + one transfer per 128-bit beat);
+* a *directory* endpoint sits on the memory module's own port (DASH's
+  directory controller), so it pays memory/directory occupancy inside its
+  handler instead of bus time;
+* distinct nodes are connected by the request/reply meshes; a node talking
+  to itself skips the mesh entirely.
+
+The transport also owns the per-kind traffic accounting used by Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.coherence.messages import CoherenceMessage, MsgKind
+from repro.memory.bus import LocalBus
+from repro.network.interface import Fabric
+from repro.sim.engine import SimulationError, Simulator
+
+Handler = Callable[[CoherenceMessage], None]
+
+
+class Transport:
+    """Routes coherence messages with bus + mesh timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        buses: List[LocalBus],
+        line_bits: int = 128,
+    ) -> None:
+        self.sim = sim
+        self.fabric = fabric
+        self.buses = buses
+        #: Payload size of data-carrying messages (one cache line).  The
+        #: message vocabulary defaults to the paper's 16-byte lines; the
+        #: transport re-sizes for other machine configurations.
+        self.line_bits = line_bits
+        self._cache_handlers: Dict[int, Handler] = {}
+        self._directory_handlers: Dict[int, Handler] = {}
+        # Traffic accounting (all injected messages, by kind).
+        self.bits_by_kind: Dict[MsgKind, int] = {}
+        self.count_by_kind: Dict[MsgKind, int] = {}
+        #: Bits that actually crossed the mesh (excludes node-local traffic);
+        #: this is the paper's "network traffic" metric.
+        self.network_bits = 0
+        self.network_messages = 0
+        for node in range(fabric.num_nodes):
+            fabric.register(node, self._deliver)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_cache(self, node: int, handler: Handler) -> None:
+        self._cache_handlers[node] = handler
+
+    def register_directory(self, node: int, handler: Handler) -> None:
+        self._directory_handlers[node] = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, msg: CoherenceMessage) -> None:
+        """Inject ``msg`` at the current time."""
+        if msg.carries_data:
+            from repro.network.message import HEADER_BITS
+
+            msg.bits = HEADER_BITS + self.line_bits
+        self.count_by_kind[msg.kind] = self.count_by_kind.get(msg.kind, 0) + 1
+        self.bits_by_kind[msg.kind] = self.bits_by_kind.get(msg.kind, 0) + msg.bits
+
+        if msg.src == msg.dst:
+            # Node-local: one bus transaction covers the hop between the
+            # cache and the directory/memory side.
+            bus = self.buses[msg.src]
+            done = bus.transact(self.sim.now, msg.bits if msg.carries_data else 0)
+            self.sim.schedule_at(done, lambda: self._dispatch(msg))
+            return
+
+        self.network_bits += msg.bits
+        self.network_messages += 1
+
+        def inject() -> None:
+            self.fabric.send(msg, msg.network)
+
+        if msg.src_is_cache:
+            # Cache -> network interface over the local bus.
+            bus = self.buses[msg.src]
+            done = bus.transact(self.sim.now, msg.bits if msg.carries_data else 0)
+            self.sim.schedule_at(done, inject)
+        else:
+            inject()
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: CoherenceMessage) -> None:
+        """Mesh delivery at the destination's network interface."""
+        if msg.dst_is_directory:
+            self._dispatch(msg)
+        else:
+            # Network interface -> cache over the local bus.
+            bus = self.buses[msg.dst]
+            done = bus.transact(self.sim.now, msg.bits if msg.carries_data else 0)
+            self.sim.schedule_at(done, lambda: self._dispatch(msg))
+
+    def _dispatch(self, msg: CoherenceMessage) -> None:
+        handlers = (
+            self._directory_handlers if msg.dst_is_directory else self._cache_handlers
+        )
+        handler = handlers.get(msg.dst)
+        if handler is None:
+            raise SimulationError(
+                f"no {'directory' if msg.dst_is_directory else 'cache'} handler "
+                f"for node {msg.dst}"
+            )
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        return sum(self.bits_by_kind.values())
+
+    def count_of(self, kind: MsgKind) -> int:
+        return self.count_by_kind.get(kind, 0)
+
+    def reset_stats(self) -> None:
+        """Zero the traffic accounting (end-of-warmup stats mark)."""
+        self.bits_by_kind.clear()
+        self.count_by_kind.clear()
+        self.network_bits = 0
+        self.network_messages = 0

@@ -1,0 +1,17 @@
+"""Memory consistency models (SC and WO)."""
+
+from repro.consistency.models import (
+    RELEASE_CONSISTENCY,
+    SEQUENTIAL_CONSISTENCY,
+    WEAK_ORDERING,
+    ConsistencyModel,
+    model_by_name,
+)
+
+__all__ = [
+    "ConsistencyModel",
+    "RELEASE_CONSISTENCY",
+    "SEQUENTIAL_CONSISTENCY",
+    "WEAK_ORDERING",
+    "model_by_name",
+]

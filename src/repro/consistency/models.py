@@ -1,0 +1,72 @@
+"""Memory consistency models: sequential consistency and weak ordering.
+
+The paper evaluates both (Sections 4.2 and 5.2):
+
+* **Sequential consistency (SC)** is implemented "by stalling the processor
+  on every read-exclusive request to a cache copy that is Shared or
+  Invalid until the write has been performed".  Reads also stall until the
+  fill returns.
+* **Weak ordering (WO)** assumes a lockup-free cache that allows an
+  unbounded number of outstanding global requests as long as
+  synchronizations are respected: the processor continues past writes and
+  fences (waits for all outstanding requests) at every lock, unlock, and
+  barrier.  Reads remain blocking.
+
+The model is a pure strategy object; the processor consults it when
+issuing writes and when reaching synchronization operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """How the processor orders its memory operations."""
+
+    name: str
+    #: Processor stalls until a write is globally performed.
+    write_blocks: bool
+    #: Acquires (lock grabs) wait for all outstanding requests first.
+    fence_at_acquire: bool
+    #: Releases (unlocks, barriers) wait for all outstanding requests.
+    fence_at_release: bool
+
+    @property
+    def fence_at_sync(self) -> bool:
+        """True when any synchronization operation fences."""
+        return self.fence_at_acquire or self.fence_at_release
+
+
+SEQUENTIAL_CONSISTENCY = ConsistencyModel(
+    name="SC", write_blocks=True, fence_at_acquire=False, fence_at_release=False
+)
+
+#: Weak ordering (Dubois et al.): every synchronization operation is a
+#: full fence for the outstanding global requests.
+WEAK_ORDERING = ConsistencyModel(
+    name="WO", write_blocks=False, fence_at_acquire=True, fence_at_release=True
+)
+
+#: Release consistency (Gharachorloo et al., cited by the paper as [6]):
+#: only *releases* wait for outstanding writes; acquires issue directly.
+RELEASE_CONSISTENCY = ConsistencyModel(
+    name="RC", write_blocks=False, fence_at_acquire=False, fence_at_release=True
+)
+
+_MODELS = {
+    "SC": SEQUENTIAL_CONSISTENCY,
+    "WO": WEAK_ORDERING,
+    "RC": RELEASE_CONSISTENCY,
+}
+
+
+def model_by_name(name: str) -> ConsistencyModel:
+    """Look up a model by its short name ("SC" or "WO")."""
+    try:
+        return _MODELS[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown consistency model {name!r}; expected one of {sorted(_MODELS)}"
+        ) from None

@@ -1,0 +1,24 @@
+"""The paper's contribution: adaptive detection of migratory sharing.
+
+This package holds the protocol-independent pieces of the adaptive
+extension — the nomination predicate, the last-writer tracker, the
+reference detection FSM of Figure 4, and the policy knobs.  The timed
+integration with the DASH directory lives in
+:mod:`repro.coherence.directory`, which calls into these hooks.
+"""
+
+from repro.core.detection import (
+    DetectorState,
+    LastWriterTracker,
+    ReferenceDetectorFSM,
+    should_nominate,
+)
+from repro.core.policy import ProtocolPolicy
+
+__all__ = [
+    "DetectorState",
+    "LastWriterTracker",
+    "ProtocolPolicy",
+    "ReferenceDetectorFSM",
+    "should_nominate",
+]

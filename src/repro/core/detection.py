@@ -1,0 +1,220 @@
+"""Migratory-sharing detection (the paper's Section 2.2 and 3.3).
+
+Migratory sharing is the global access pattern::
+
+    (R_i)(R_i)* (W_i) (R_i|W_i)*  (R_j)(R_j)* (W_j) (R_j|W_j)* ...
+
+i.e. each processor in turn reads, then writes, a block before the next
+processor touches it.  Home observes this as the request stream
+``Rr_i Rxq_i Rr_j Rxq_j ...`` and can nominate the block as migratory when
+a read-exclusive request arrives from processor *i* such that
+
+1. the number of cached copies is exactly two (``N == 2``), and
+2. the last writer is valid and is a *different* processor (``LW != i``).
+
+Condition (1) rejects sequences with intervening readers such as
+``Rxq_i Rr_j Rr_k Rxq_j``; condition (2) rejects producer-consumer
+sequences such as ``Rxq_i Rr_j Rxq_i Rr_j``.  The last-writer pointer must
+be invalidated whenever the sharing list grows beyond two so that silent
+replacements (``Rr_i Rxq_i Rr_j Rr_k Repl_k Rxq_j``) cannot cause a false
+nomination.
+
+Two artifacts live here:
+
+* :func:`should_nominate` — the pure nomination predicate used by the
+  directory controller.
+* :class:`ReferenceDetectorFSM` — a standalone model of the home-side
+  finite-state machine of Figure 4, used as a test oracle in unit and
+  property tests (it tracks its own sharer set and last writer from a raw
+  request stream, independent of the timing simulator).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.core.policy import ProtocolPolicy
+
+
+def should_nominate(
+    num_copies: int,
+    requester: int,
+    last_writer: Optional[int],
+) -> bool:
+    """The paper's nomination condition ``Cond`` of Figure 4.
+
+    ``last_writer is None`` encodes an invalid last-writer pointer (its
+    valid bit is reset).
+    """
+    return num_copies == 2 and last_writer is not None and last_writer != requester
+
+
+class LastWriterTracker:
+    """Last-writer pointer (LW) with its valid bit, per the paper.
+
+    * Updated (and validated) at every transition to Dirty-Remote.
+    * Invalidated as soon as the sharing list exceeds two entries.
+    """
+
+    __slots__ = ("_writer",)
+
+    def __init__(self) -> None:
+        self._writer: Optional[int] = None
+
+    @property
+    def value(self) -> Optional[int]:
+        """The pointer, or None when the valid bit is reset."""
+        return self._writer
+
+    def record_write(self, node: int) -> None:
+        self._writer = node
+
+    def invalidate(self) -> None:
+        self._writer = None
+
+    def note_sharer_count(self, count: int) -> None:
+        """Reset the valid bit when the sharing list exceeds two."""
+        if count > 2:
+            self._writer = None
+
+
+class DetectorState(enum.Enum):
+    """Figure 4 states of the home finite-state machine."""
+
+    UNCACHED = "Uncached"
+    SHARED_REMOTE = "Shared-Remote"
+    DIRTY_REMOTE = "Dirty-Remote"
+    MIGRATORY_DIRTY = "Migratory-Dirty"
+    MIGRATORY_UNCACHED = "Migratory-Uncached"
+
+
+@dataclass
+class ReferenceDetectorFSM:
+    """Untimed model of the Figure 4 state machine for one memory block.
+
+    Feed it the global request stream home would see — ``read_miss(i)``,
+    ``read_exclusive(i)``, ``replacement(i)`` — and it tracks nomination
+    exactly per the paper.  ``migratory_read(i)`` models the Mr round-trip
+    outcome including the NoMig revert: the previous owner refuses to
+    migrate when it never wrote the block (its copy is still "Migrating").
+    """
+
+    policy: ProtocolPolicy = field(default_factory=ProtocolPolicy.adaptive_default)
+    state: DetectorState = DetectorState.UNCACHED
+    sharers: Set[int] = field(default_factory=set)
+    owner: Optional[int] = None
+    #: Whether the current migratory owner has written since acquiring.
+    owner_wrote: bool = False
+    nominations: int = 0
+    reverts: int = 0
+
+    def __post_init__(self) -> None:
+        self._lw = LastWriterTracker()
+
+    @property
+    def last_writer(self) -> Optional[int]:
+        return self._lw.value
+
+    @property
+    def is_migratory(self) -> bool:
+        return self.state in (
+            DetectorState.MIGRATORY_DIRTY,
+            DetectorState.MIGRATORY_UNCACHED,
+        )
+
+    # ------------------------------------------------------------------
+    # Request stream
+    # ------------------------------------------------------------------
+    def read_miss(self, node: int) -> None:
+        """Home receives Rr from ``node``."""
+        if self.state in (DetectorState.UNCACHED, DetectorState.SHARED_REMOTE):
+            self.sharers.add(node)
+            self.state = DetectorState.SHARED_REMOTE
+            self._lw.note_sharer_count(len(self.sharers))
+        elif self.state is DetectorState.DIRTY_REMOTE:
+            # Owner downgrades to shared; requester joins.
+            self.sharers = {self.owner, node}
+            self.owner = None
+            self.state = DetectorState.SHARED_REMOTE
+        elif self.state is DetectorState.MIGRATORY_UNCACHED:
+            self._become_owner(node)
+        elif self.state is DetectorState.MIGRATORY_DIRTY:
+            self.migratory_read(node)
+
+    def migratory_read(self, node: int, for_write: bool = False) -> None:
+        """Outcome of the Mr forward to the current owner."""
+        assert self.state is DetectorState.MIGRATORY_DIRTY
+        if (
+            self.policy.nomig_enabled
+            and not self.owner_wrote
+            and not for_write
+        ):
+            # NoMig: owner never wrote; block reverts to ordinary sharing.
+            self.sharers = {self.owner, node}
+            self.owner = None
+            self.state = DetectorState.SHARED_REMOTE
+            self._lw.invalidate()
+            self.reverts += 1
+        else:
+            self._become_owner(node)
+
+    def read_exclusive(self, node: int) -> None:
+        """Home receives Rxq from ``node``."""
+        if self.state in (DetectorState.UNCACHED, DetectorState.DIRTY_REMOTE):
+            self._to_dirty_remote(node)
+        elif self.state is DetectorState.SHARED_REMOTE:
+            if self.policy.adaptive and should_nominate(
+                len(self.sharers), node, self._lw.value
+            ):
+                self.nominations += 1
+                self._become_owner(node)
+                self.owner_wrote = True
+            else:
+                self._to_dirty_remote(node)
+        elif self.state is DetectorState.MIGRATORY_UNCACHED:
+            if self.policy.rxq_reverts_to_ordinary:
+                self._to_dirty_remote(node)
+            else:
+                self._become_owner(node)
+                self.owner_wrote = True
+        elif self.state is DetectorState.MIGRATORY_DIRTY:
+            if self.policy.rxq_reverts_to_ordinary:
+                self._to_dirty_remote(node)
+            else:
+                self.migratory_read(node, for_write=True)
+                self.owner_wrote = True
+
+    def write_hit_by_owner(self) -> None:
+        """The migratory owner's first write (local Migrating -> Dirty)."""
+        self.owner_wrote = True
+
+    def replacement(self, node: int, silent_if_shared: bool = True) -> None:
+        """``node`` evicts its copy."""
+        if self.state is DetectorState.DIRTY_REMOTE and self.owner == node:
+            self.owner = None
+            self.state = DetectorState.UNCACHED
+        elif self.state is DetectorState.MIGRATORY_DIRTY and self.owner == node:
+            self.owner = None
+            self.state = DetectorState.MIGRATORY_UNCACHED
+        elif node in self.sharers and not silent_if_shared:
+            self.sharers.discard(node)
+            if not self.sharers:
+                self.state = DetectorState.UNCACHED
+        # Silent shared replacement: home state unchanged (stale presence).
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _to_dirty_remote(self, node: int) -> None:
+        self.sharers = set()
+        self.owner = node
+        self.state = DetectorState.DIRTY_REMOTE
+        self._lw.record_write(node)
+
+    def _become_owner(self, node: int) -> None:
+        self.sharers = set()
+        self.owner = node
+        self.owner_wrote = False
+        self.state = DetectorState.MIGRATORY_DIRTY

@@ -1,0 +1,51 @@
+"""Protocol policy knobs.
+
+The paper evaluates one base protocol (DASH write-invalidate, "W-I") and
+one extension (the adaptive migratory protocol, "AD"), plus two ablations:
+
+* the dashed-arrow heuristic of Figure 4 — revert a migratory block to
+  Dirty-Remote when home receives a read-exclusive request for it
+  (Section 3.4; the authors found it did not help consistently);
+* disabling the NoMig revert (Section 5.4; the authors found this hurts
+  significantly, demonstrating the mechanism is needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProtocolPolicy:
+    """Configuration of the coherence protocol variant."""
+
+    #: Enable migratory detection and optimization (False = plain DASH W-I).
+    adaptive: bool = False
+    #: Figure 4 dashed arrows: an Rxq for a migratory block demotes it to
+    #: Dirty-Remote instead of keeping it migratory.
+    rxq_reverts_to_ordinary: bool = False
+    #: Section 3.4 / 5.4: allow the Migrating-state owner to refuse a
+    #: migratory read and revert the block to ordinary (read-only sharing
+    #: detection).  Disabling this is an ablation only.
+    nomig_enabled: bool = True
+
+    @staticmethod
+    def write_invalidate() -> "ProtocolPolicy":
+        """The paper's baseline ("W-I")."""
+        return ProtocolPolicy(adaptive=False)
+
+    @staticmethod
+    def adaptive_default() -> "ProtocolPolicy":
+        """The paper's proposal with default policies ("AD")."""
+        return ProtocolPolicy(adaptive=True)
+
+    @property
+    def name(self) -> str:
+        if not self.adaptive:
+            return "W-I"
+        suffix = ""
+        if self.rxq_reverts_to_ordinary:
+            suffix += "+rxq-revert"
+        if not self.nomig_enabled:
+            suffix += "-nomig"
+        return "AD" + suffix

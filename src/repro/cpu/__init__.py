@@ -1,0 +1,16 @@
+"""Processor model, operation vocabulary, and ideal synchronization."""
+
+from repro.cpu.ops import Barrier, Compute, Lock, Read, Unlock, Write
+from repro.cpu.processor import Processor
+from repro.cpu.sync import IdealSync
+
+__all__ = [
+    "Barrier",
+    "Compute",
+    "IdealSync",
+    "Lock",
+    "Processor",
+    "Read",
+    "Unlock",
+    "Write",
+]

@@ -1,0 +1,97 @@
+"""Workload operation vocabulary.
+
+Workload programs are Python generators that yield a stream of operations;
+the processor model consumes them, advancing simulated time according to
+the memory system.  Operations are plain tuples ``(opcode, operand)`` for
+speed (a benchmark run executes millions of them); the constructors below
+keep workload code readable.
+
+Synchronization operations are handled by the ideal synchronization
+manager (single-cycle, outside the memory system), exactly as the paper
+does (Section 4.2: "we handle synchronization requests ideally with a
+single-cycle delay outside the architecture model").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+OP_READ = 0
+OP_WRITE = 1
+OP_COMPUTE = 2
+OP_LOCK = 3
+OP_UNLOCK = 4
+OP_BARRIER = 5
+OP_MARK = 6
+OP_PREFETCH_EX = 7
+
+Op = Tuple[int, int]
+
+
+def Read(addr: int) -> Op:
+    """A shared-data read of byte address ``addr``."""
+    return (OP_READ, addr)
+
+
+def Write(addr: int) -> Op:
+    """A shared-data write of byte address ``addr``."""
+    return (OP_WRITE, addr)
+
+
+def Compute(cycles: int) -> Op:
+    """Local computation for ``cycles`` pclocks (models instruction work
+    and private-data references, which the paper assumes always hit)."""
+    return (OP_COMPUTE, cycles)
+
+
+def Lock(lock_id: int) -> Op:
+    """Acquire lock ``lock_id`` (blocks until granted)."""
+    return (OP_LOCK, lock_id)
+
+
+def Unlock(lock_id: int) -> Op:
+    """Release lock ``lock_id``."""
+    return (OP_UNLOCK, lock_id)
+
+
+def Barrier(barrier_id: int) -> Op:
+    """Global barrier; all processors must arrive before any proceeds."""
+    return (OP_BARRIER, barrier_id)
+
+
+def PrefetchEx(addr: int) -> Op:
+    """Non-binding software read-exclusive prefetch (Mowry & Gupta).
+
+    The paper's Section 6 discusses this as the software alternative to
+    the adaptive protocol: the compiler/programmer requests ownership of
+    the block ahead of the read-modify-write, merging the miss and the
+    invalidation into one transaction.  The prefetch never blocks the
+    processor and never delays a synchronization fence; if the line is
+    already writable or a transaction is outstanding, it is dropped.
+    """
+    return (OP_PREFETCH_EX, addr)
+
+
+def StatsMark() -> Op:
+    """End-of-warmup marker: when every processor has reached its mark,
+    all statistics are reset and measurement starts.
+
+    This reproduces the paper's steady-state methodology (Section 4.3):
+    "Statistics acquisition is started when the applications enter the
+    parallel section to study steady-state behavior."  Caches and
+    directory state stay warm; only counters, traffic, and time
+    breakdowns restart.
+    """
+    return (OP_MARK, 0)
+
+
+OP_NAMES = {
+    OP_READ: "Read",
+    OP_WRITE: "Write",
+    OP_COMPUTE: "Compute",
+    OP_LOCK: "Lock",
+    OP_UNLOCK: "Unlock",
+    OP_BARRIER: "Barrier",
+    OP_MARK: "StatsMark",
+    OP_PREFETCH_EX: "PrefetchEx",
+}

@@ -1,0 +1,78 @@
+"""Ideal synchronization: single-cycle locks and barriers.
+
+Per the paper (Section 4.2), lock and barrier traffic is kept outside the
+architectural model and serviced with a single-cycle delay; only *waiting*
+(lock contention, barrier imbalance) costs time.  Grants are FIFO, which
+keeps simulations deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.sim.engine import SimulationError, Simulator
+
+GrantCallback = Callable[[], None]
+
+
+class IdealSync:
+    """Lock and barrier manager shared by all processors."""
+
+    def __init__(self, sim: Simulator, num_processors: int, grant_delay: int = 1) -> None:
+        self.sim = sim
+        self.num_processors = num_processors
+        self.grant_delay = grant_delay
+        self._holders: Dict[int, int] = {}
+        self._lock_queues: Dict[int, Deque[Tuple[int, GrantCallback]]] = {}
+        self._barrier_waiters: Dict[int, List[GrantCallback]] = {}
+        self.lock_acquisitions = 0
+        self.lock_contended = 0
+        self.barriers_completed = 0
+
+    # ------------------------------------------------------------------
+    # Locks
+    # ------------------------------------------------------------------
+    def acquire(self, processor: int, lock_id: int, granted: GrantCallback) -> None:
+        if self._holders.get(lock_id) is None:
+            self._holders[lock_id] = processor
+            self.lock_acquisitions += 1
+            self.sim.schedule(self.grant_delay, granted)
+        else:
+            self.lock_contended += 1
+            self._lock_queues.setdefault(lock_id, deque()).append((processor, granted))
+
+    def release(self, processor: int, lock_id: int) -> None:
+        holder = self._holders.get(lock_id)
+        if holder != processor:
+            raise SimulationError(
+                f"processor {processor} released lock {lock_id} held by {holder}"
+            )
+        queue = self._lock_queues.get(lock_id)
+        if queue:
+            next_processor, granted = queue.popleft()
+            self._holders[lock_id] = next_processor
+            self.lock_acquisitions += 1
+            self.sim.schedule(self.grant_delay, granted)
+        else:
+            self._holders[lock_id] = None
+
+    def holder_of(self, lock_id: int) -> Optional[int]:
+        return self._holders.get(lock_id)
+
+    # ------------------------------------------------------------------
+    # Barriers
+    # ------------------------------------------------------------------
+    def barrier(self, processor: int, barrier_id: int, released: GrantCallback) -> None:
+        waiters = self._barrier_waiters.setdefault(barrier_id, [])
+        waiters.append(released)
+        if len(waiters) == self.num_processors:
+            del self._barrier_waiters[barrier_id]
+            self.barriers_completed += 1
+            for callback in waiters:
+                self.sim.schedule(self.grant_delay, callback)
+        elif len(waiters) > self.num_processors:  # pragma: no cover
+            raise SimulationError(f"barrier {barrier_id} over-subscribed")
+
+    def waiting_at_barrier(self, barrier_id: int) -> int:
+        return len(self._barrier_waiters.get(barrier_id, []))

@@ -1,0 +1,119 @@
+"""Experiment runner: build machine + workload, run, compare protocols.
+
+Every table/figure module in this package builds on two entry points:
+
+* :func:`run_workload` — one (workload, policy, consistency, cache) run;
+* :func:`compare_protocols` — the W-I vs AD pair for one workload, with
+  the paper's derived metrics (ETR, read-exclusive reduction, traffic
+  reduction, write-penalty reduction) as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
+from repro.core.policy import ProtocolPolicy
+from repro.machine.config import MachineConfig
+from repro.machine.system import Machine, RunResult
+from repro.workloads import make_workload
+
+
+def run_workload(
+    workload: str,
+    policy: ProtocolPolicy,
+    *,
+    preset: str = "default",
+    consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY,
+    config: Optional[MachineConfig] = None,
+    check_coherence: bool = True,
+    seed: int = 42,
+    **workload_overrides,
+) -> RunResult:
+    """Run one workload under one protocol; returns the RunResult."""
+    base = config or MachineConfig.dash_default()
+    cfg = base.with_(
+        policy=policy, consistency=consistency, check_coherence=check_coherence
+    )
+    machine = Machine(cfg)
+    wl = make_workload(
+        workload, cfg.num_nodes, preset, seed=seed, **workload_overrides
+    )
+    return machine.run(wl.programs())
+
+
+@dataclass
+class ProtocolComparison:
+    """W-I vs AD on the same workload and machine."""
+
+    workload: str
+    wi: RunResult
+    ad: RunResult
+
+    @property
+    def execution_time_ratio(self) -> float:
+        """The paper's ETR: W-I time relative to AD (>1 means AD wins)."""
+        return self.wi.execution_time / max(1, self.ad.execution_time)
+
+    @property
+    def rx_reduction(self) -> float:
+        """Fraction of read-exclusive requests eliminated (Table 3)."""
+        base = self.wi.counter("rxq_received")
+        if base == 0:
+            return 0.0
+        return 1.0 - self.ad.counter("rxq_received") / base
+
+    @property
+    def traffic_reduction(self) -> float:
+        """Fraction of network bits eliminated (Table 3)."""
+        base = self.wi.network_bits
+        if base == 0:
+            return 0.0
+        return 1.0 - self.ad.network_bits / base
+
+    @property
+    def write_penalty_reduction(self) -> float:
+        """Fraction of W-I write stall time eliminated (Table 4's WPR)."""
+        base = self.wi.aggregate_breakdown.write_stall
+        if base == 0:
+            return 0.0
+        return 1.0 - self.ad.aggregate_breakdown.write_stall / base
+
+    def replacement_miss_rate(self, which: str = "wi") -> float:
+        """Replacement misses per shared reference (Table 4's MR)."""
+        result = self.wi if which == "wi" else self.ad
+        refs = (
+            result.counter("read_hits")
+            + result.counter("write_hits")
+            + result.counter("read_misses")
+            + result.counter("write_misses")
+            + result.counter("write_upgrades")
+        )
+        if refs == 0:
+            return 0.0
+        return result.counter("replacement_misses") / refs
+
+
+def compare_protocols(
+    workload: str,
+    *,
+    preset: str = "default",
+    consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY,
+    config: Optional[MachineConfig] = None,
+    check_coherence: bool = True,
+    seed: int = 42,
+    **workload_overrides,
+) -> ProtocolComparison:
+    """Run a workload under both W-I and AD with identical parameters."""
+    wi = run_workload(
+        workload, ProtocolPolicy.write_invalidate(),
+        preset=preset, consistency=consistency, config=config,
+        check_coherence=check_coherence, seed=seed, **workload_overrides,
+    )
+    ad = run_workload(
+        workload, ProtocolPolicy.adaptive_default(),
+        preset=preset, consistency=consistency, config=config,
+        check_coherence=check_coherence, seed=seed, **workload_overrides,
+    )
+    return ProtocolComparison(workload=workload, wi=wi, ad=ad)

@@ -1,0 +1,97 @@
+"""Section 6: system-size scaling.
+
+The paper argues the adaptive technique matters *more* at scale: "for
+larger system configurations it will be more difficult to obtain a
+scalable bandwidth.  Secondly, latencies will be larger and thus, the
+access penalty due to invalidation requests will be higher."  It also
+notes (via Gupta & Weber's 8/16/32-processor data) that the *amount* of
+migratory sharing is independent of system size.
+
+We sweep mesh sizes with the distilled migratory workload (constant work
+per processor) and measure the W-I/AD execution-time ratio and the
+single-invalidation fraction at each size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.policy import ProtocolPolicy
+from repro.machine.config import MachineConfig
+from repro.machine.system import Machine, RunResult
+from repro.stats.sharing_profile import invalidation_profile
+from repro.workloads.synthetic import MigratoryCounters
+
+
+@dataclass
+class ScalingPoint:
+    mesh: Tuple[int, int]
+    wi: RunResult
+    ad: RunResult
+
+    @property
+    def nodes(self) -> int:
+        return self.mesh[0] * self.mesh[1]
+
+    @property
+    def etr(self) -> float:
+        return self.wi.execution_time / max(1, self.ad.execution_time)
+
+    @property
+    def single_invalidation_fraction(self) -> float:
+        return invalidation_profile(self.wi).single_invalidation_fraction
+
+
+def run_scaling(
+    meshes: Tuple[Tuple[int, int], ...] = ((2, 2), (4, 4), (8, 8)),
+    iterations: int = 20,
+    check_coherence: bool = True,
+) -> List[ScalingPoint]:
+    points = []
+    for width, height in meshes:
+        nodes = width * height
+        results = {}
+        for policy in (
+            ProtocolPolicy.write_invalidate(),
+            ProtocolPolicy.adaptive_default(),
+        ):
+            config = MachineConfig(
+                mesh_width=width,
+                mesh_height=height,
+                policy=policy,
+                check_coherence=check_coherence,
+            )
+            machine = Machine(config)
+            # Counters scale with the machine so per-processor contention
+            # (and thus migratory behaviour) stays constant.
+            workload = MigratoryCounters(
+                nodes,
+                num_counters=max(2, nodes // 2),
+                iterations=iterations,
+                record_lines=2,
+            )
+            results[policy.name] = machine.run(workload.programs())
+        points.append(
+            ScalingPoint(mesh=(width, height), wi=results["W-I"], ad=results["AD"])
+        )
+    return points
+
+
+def render_scaling(points: List[ScalingPoint]) -> str:
+    lines = [
+        "Section 6: system-size scaling (migratory counters)",
+        f"{'mesh':<8}{'nodes':>6}{'T(W-I)':>10}{'T(AD)':>10}{'ETR':>7}"
+        f"{'1-inval frac':>14}",
+    ]
+    for point in points:
+        lines.append(
+            f"{point.mesh[0]}x{point.mesh[1]:<6}{point.nodes:>6}"
+            f"{point.wi.execution_time:>10}{point.ad.execution_time:>10}"
+            f"{point.etr:>7.2f}{point.single_invalidation_fraction:>14.1%}"
+        )
+    lines.append(
+        "paper: migratory sharing (single-invalidation dominance) is "
+        "independent of system size; AD's benefit grows with latency"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Table 3 reproduction: read-exclusive request and traffic reduction.
+
+Paper values:
+
+============  ====================  =================
+Application   Read-excl. reduction  Traffic reduction
+MP3D          87%                   32%
+Cholesky      69%                   22%
+Water         96%                   31%
+LU             5%                    1%
+============  ====================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.runner import ProtocolComparison, compare_protocols
+from repro.machine.config import MachineConfig
+from repro.workloads import PAPER_BENCHMARKS
+
+PAPER_TABLE3 = {
+    "mp3d": {"rx_reduction": 0.87, "traffic_reduction": 0.32},
+    "cholesky": {"rx_reduction": 0.69, "traffic_reduction": 0.22},
+    "water": {"rx_reduction": 0.96, "traffic_reduction": 0.31},
+    "lu": {"rx_reduction": 0.05, "traffic_reduction": 0.01},
+}
+
+
+@dataclass
+class Table3Row:
+    workload: str
+    comparison: ProtocolComparison
+
+    @property
+    def rx_reduction(self) -> float:
+        return self.comparison.rx_reduction
+
+    @property
+    def traffic_reduction(self) -> float:
+        return self.comparison.traffic_reduction
+
+    @property
+    def paper_rx(self) -> float:
+        return PAPER_TABLE3[self.workload]["rx_reduction"]
+
+    @property
+    def paper_traffic(self) -> float:
+        return PAPER_TABLE3[self.workload]["traffic_reduction"]
+
+
+def run_table3(
+    preset: str = "default",
+    config: Optional[MachineConfig] = None,
+    check_coherence: bool = True,
+) -> List[Table3Row]:
+    return [
+        Table3Row(
+            workload=name,
+            comparison=compare_protocols(
+                name, preset=preset, config=config, check_coherence=check_coherence
+            ),
+        )
+        for name in PAPER_BENCHMARKS
+    ]
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    lines = [
+        "Table 3: reduction of read-exclusive requests and network traffic",
+        f"{'app':<10}{'rx-red':>8} (paper){'':<2}{'traffic-red':>12} (paper)",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.workload:<10}{row.rx_reduction:>8.1%} ({row.paper_rx:>4.0%})  "
+            f"{row.traffic_reduction:>12.1%} ({row.paper_traffic:>4.0%})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Machine configuration and assembly."""
+
+from repro.machine.allocator import PagePlacement, SharedAllocator, SharedArray
+from repro.machine.config import MachineConfig
+from repro.machine.system import Machine, RunResult
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "PagePlacement",
+    "RunResult",
+    "SharedAllocator",
+    "SharedArray",
+]

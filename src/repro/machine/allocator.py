@@ -1,0 +1,88 @@
+"""Shared-address-space layout: round-robin page placement.
+
+The paper allocates shared data pages "in a round-robin fashion with the
+least significant bits of the virtual page number designating the node
+number" (Section 4.2).  :class:`PagePlacement` implements that home
+mapping; :class:`SharedAllocator` hands out shared segments to workloads
+(a tiny bump allocator over the virtual address space).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class PagePlacement:
+    """Maps block/byte addresses to their home node."""
+
+    def __init__(self, num_nodes: int, page_size: int = 4096, line_size: int = 16) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+        self.page_size = page_size
+        self.line_size = line_size
+        self._lines_per_page = page_size // line_size
+
+    def home_of_addr(self, addr: int) -> int:
+        """Home node of a byte address."""
+        return (addr // self.page_size) % self.num_nodes
+
+    def home_of_block(self, block: int) -> int:
+        """Home node of a line-aligned block number."""
+        return (block // self._lines_per_page) % self.num_nodes
+
+
+class SharedAllocator:
+    """Bump allocator for the shared virtual address space.
+
+    Workloads use it to lay out their shared data structures; every
+    allocation is line-aligned so distinct objects never falsely share a
+    block unless the workload asks for packed layout explicitly.
+    """
+
+    def __init__(self, line_size: int = 16, base: int = 0) -> None:
+        self.line_size = line_size
+        self._next = base
+        self.allocations: List[tuple] = []
+
+    def alloc(self, num_bytes: int, name: str = "", packed: bool = False) -> int:
+        """Allocate ``num_bytes``; returns the base byte address.
+
+        Unless ``packed``, both the base and the size are rounded up to a
+        line boundary.
+        """
+        if num_bytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if not packed:
+            self._next = -(-self._next // self.line_size) * self.line_size
+            num_bytes = -(-num_bytes // self.line_size) * self.line_size
+        base = self._next
+        self._next += num_bytes
+        self.allocations.append((name, base, num_bytes))
+        return base
+
+    def alloc_array(self, count: int, element_bytes: int, name: str = "") -> "SharedArray":
+        """Allocate an array of ``count`` elements, each line-padded."""
+        stride = -(-element_bytes // self.line_size) * self.line_size
+        base = self.alloc(count * stride, name)
+        return SharedArray(base, count, stride)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._next
+
+
+class SharedArray:
+    """Addresses of a line-padded shared array."""
+
+    __slots__ = ("base", "count", "stride")
+
+    def __init__(self, base: int, count: int, stride: int) -> None:
+        self.base = base
+        self.count = count
+        self.stride = stride
+
+    def addr(self, index: int, offset: int = 0) -> int:
+        if not (0 <= index < self.count):
+            raise IndexError(f"index {index} out of range [0, {self.count})")
+        return self.base + index * self.stride + offset

@@ -1,0 +1,74 @@
+"""Machine configuration with the paper's DASH-like defaults.
+
+All timing is in pclocks (1 pclock = 10 ns at the paper's 100 MHz
+processor clock).  Defaults reproduce Section 4.2:
+
+* 16 nodes on two 4x4 wormhole meshes (16-bit links, 100 MHz synchronous,
+  three-stage fall-through);
+* 64 Kbyte direct-mapped copy-back cache, 16-byte lines, 10 ns access;
+* 128-bit split-transaction local bus at 50 MHz (2 pclocks arbitration +
+  2 pclocks transfer);
+* 100 ns memory cycle (10 pclocks);
+* shared pages allocated round-robin by virtual page number, 4 Kbyte pages;
+* sequential consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
+from repro.core.policy import ProtocolPolicy
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Every knob of the simulated machine."""
+
+    # Topology.
+    mesh_width: int = 4
+    mesh_height: int = 4
+    # Caches.
+    cache_size: int = 64 * 1024
+    line_size: int = 16
+    associativity: int = 1
+    # Memory layout.
+    page_size: int = 4096
+    # Network.
+    link_bits: int = 16
+    fall_through: int = 3
+    interface_delay: int = 2
+    infinite_bandwidth: bool = False
+    # Local bus (50 MHz: 2 pclocks arbitration, 2 pclocks per transfer).
+    bus_arbitration: int = 2
+    bus_transfer: int = 2
+    bus_width_bits: int = 128
+    # Memory module.
+    memory_cycle: int = 10
+    directory_cycle: int = 2
+    # Remote cache tag-check + data-array read when servicing a forwarded
+    # request (the paper's 3-hop latencies include this).
+    cache_service_delay: int = 4
+    # Protocol and consistency.
+    policy: ProtocolPolicy = field(default_factory=ProtocolPolicy.write_invalidate)
+    consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY
+    # Simulation controls.
+    check_coherence: bool = True
+    #: Collect per-block sharing-pattern statistics at the directories
+    #: (read back via ``machine.block_profiler``).
+    profile_blocks: bool = False
+    max_events: Optional[int] = None
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    def with_(self, **overrides) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @staticmethod
+    def dash_default(**overrides) -> "MachineConfig":
+        """The paper's default 16-node machine."""
+        return MachineConfig().with_(**overrides) if overrides else MachineConfig()

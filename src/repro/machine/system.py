@@ -1,0 +1,208 @@
+"""Machine assembly: wire every component into a runnable system.
+
+:class:`Machine` builds the full DASH-like node set (processor, cache
+controller, directory, bus, memory module) over the two-mesh fabric, runs
+a set of workload programs to completion, and returns a
+:class:`RunResult` with the execution-time breakdown, protocol counters,
+and traffic statistics that the experiment harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.coherence.cache_ctrl import CacheController
+from repro.coherence.checker import CoherenceChecker
+from repro.coherence.directory import DirectoryController
+from repro.coherence.transport import Transport
+from repro.cpu.ops import Op
+from repro.cpu.processor import Processor
+from repro.cpu.sync import IdealSync
+from repro.machine.allocator import PagePlacement
+from repro.machine.config import MachineConfig
+from repro.memory.bus import LocalBus
+from repro.memory.cache import CacheArray
+from repro.memory.dram import MemoryModule
+from repro.network.interface import Fabric
+from repro.sim.engine import DeadlockError, Simulator
+from repro.stats.block_profile import BlockProfiler
+from repro.stats.breakdown import StallBreakdown
+from repro.stats.counters import Counters
+
+
+@dataclass
+class RunResult:
+    """Everything a simulation run produced."""
+
+    execution_time: int
+    breakdowns: List[StallBreakdown]
+    counters: Counters
+    network_bits: int
+    network_messages: int
+    bits_by_kind: Dict[str, int]
+    count_by_kind: Dict[str, int]
+    events_processed: int
+    policy_name: str
+    consistency_name: str
+
+    @property
+    def aggregate_breakdown(self) -> StallBreakdown:
+        return StallBreakdown.aggregate(self.breakdowns)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name)
+
+
+class Machine:
+    """A complete simulated multiprocessor."""
+
+    def __init__(self, config: Optional[MachineConfig] = None) -> None:
+        self.config = config or MachineConfig()
+        cfg = self.config
+        self.sim = Simulator(max_events=cfg.max_events)
+        self.fabric = Fabric(
+            self.sim,
+            cfg.mesh_width,
+            cfg.mesh_height,
+            link_bits=cfg.link_bits,
+            fall_through=cfg.fall_through,
+            interface_delay=cfg.interface_delay,
+            infinite_bandwidth=cfg.infinite_bandwidth,
+        )
+        self.placement = PagePlacement(cfg.num_nodes, cfg.page_size, cfg.line_size)
+        self.buses = [
+            LocalBus(
+                self.sim,
+                arbitration=cfg.bus_arbitration,
+                transfer=cfg.bus_transfer,
+                width_bits=cfg.bus_width_bits,
+                infinite_bandwidth=cfg.infinite_bandwidth,
+                name=f"bus{n}",
+            )
+            for n in range(cfg.num_nodes)
+        ]
+        self.transport = Transport(
+            self.sim, self.fabric, self.buses, line_bits=cfg.line_size * 8
+        )
+        self.counters = Counters()
+        self.checker = CoherenceChecker(enabled=cfg.check_coherence)
+        self.block_profiler = BlockProfiler() if cfg.profile_blocks else None
+        self.memories = [
+            MemoryModule(
+                self.sim,
+                cycle=cfg.memory_cycle,
+                directory_cycle=cfg.directory_cycle,
+                infinite_bandwidth=cfg.infinite_bandwidth,
+                name=f"dram{n}",
+            )
+            for n in range(cfg.num_nodes)
+        ]
+        self.directories = [
+            DirectoryController(
+                n, self.sim, self.transport, self.memories[n], cfg.policy,
+                self.counters, profiler=self.block_profiler,
+            )
+            for n in range(cfg.num_nodes)
+        ]
+        self.caches = [
+            CacheController(
+                n,
+                self.sim,
+                self.transport,
+                CacheArray(cfg.cache_size, cfg.line_size, cfg.associativity),
+                self.placement.home_of_block,
+                cfg.policy,
+                self.checker,
+                self.counters,
+                service_delay=cfg.cache_service_delay,
+            )
+            for n in range(cfg.num_nodes)
+        ]
+        self.sync = IdealSync(self.sim, cfg.num_nodes)
+        self.processors = [
+            Processor(n, self.sim, self.caches[n], self.sync, cfg.consistency)
+            for n in range(cfg.num_nodes)
+        ]
+        # Steady-state measurement support (StatsMark operations).
+        self._mark_time = 0
+        self._mark_arrivals = 0
+        self._mark_waiters: List = []
+        for processor in self.processors:
+            processor.on_mark = self._on_mark
+
+    # ------------------------------------------------------------------
+    # Running workloads
+    # ------------------------------------------------------------------
+    def run(self, programs: List[Iterator[Op]]) -> RunResult:
+        """Run one program per processor to completion.
+
+        ``programs`` must contain exactly ``num_nodes`` generators (use an
+        empty generator for idle processors).
+        """
+        if len(programs) != self.config.num_nodes:
+            raise ValueError(
+                f"need {self.config.num_nodes} programs, got {len(programs)}"
+            )
+        for processor, program in zip(self.processors, programs):
+            processor.start(program)
+        self.sim.run()
+        unfinished = [p.node for p in self.processors if not p.done]
+        if unfinished:
+            raise DeadlockError(
+                f"event queue drained but processors {unfinished} never "
+                "finished (protocol or synchronization deadlock)"
+            )
+        return self._result()
+
+    # ------------------------------------------------------------------
+    # Steady-state measurement (StatsMark)
+    # ------------------------------------------------------------------
+    def _on_mark(self, node: int, resume) -> None:
+        """A processor reached its StatsMark; resume all once everyone has."""
+        self._mark_arrivals += 1
+        self._mark_waiters.append(resume)
+        if self._mark_arrivals == self.config.num_nodes:
+            self.reset_stats()
+            waiters, self._mark_waiters = self._mark_waiters, []
+            self._mark_arrivals = 0
+            for callback in waiters:
+                self.sim.schedule(1, callback)
+
+    def reset_stats(self) -> None:
+        """Restart measurement: counters, traffic, and time breakdowns.
+
+        Protocol and cache state stay warm — this is the paper's
+        steady-state statistics acquisition (Section 4.3).
+        """
+        self._mark_time = self.sim.now
+        self.counters.clear()
+        self.transport.reset_stats()
+        self.fabric.reset_stats()
+        for processor in self.processors:
+            processor.reset_breakdown()
+        for bus in self.buses:
+            bus.transactions = 0
+        for memory in self.memories:
+            memory.accesses = 0
+            memory.directory_lookups = 0
+
+    def _result(self) -> RunResult:
+        finish_times = [p.finished_at for p in self.processors]
+        return RunResult(
+            execution_time=(max(finish_times) if finish_times else 0) - self._mark_time,
+            breakdowns=[p.breakdown for p in self.processors],
+            counters=self.counters,
+            network_bits=self.transport.network_bits,
+            network_messages=self.transport.network_messages,
+            bits_by_kind={
+                kind.value: bits for kind, bits in self.transport.bits_by_kind.items()
+            },
+            count_by_kind={
+                kind.value: count
+                for kind, count in self.transport.count_by_kind.items()
+            },
+            events_processed=self.sim.events_processed,
+            policy_name=self.config.policy.name,
+            consistency_name=self.config.consistency.name,
+        )

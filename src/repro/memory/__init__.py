@@ -1,0 +1,23 @@
+"""Per-node memory hierarchy: cache array, local bus, memory module."""
+
+from repro.memory.bus import LocalBus
+from repro.memory.cache import (
+    READABLE_STATES,
+    WRITABLE_STATES,
+    CacheArray,
+    CacheGeometryError,
+    CacheLine,
+    CacheState,
+)
+from repro.memory.dram import MemoryModule
+
+__all__ = [
+    "CacheArray",
+    "CacheGeometryError",
+    "CacheLine",
+    "CacheState",
+    "LocalBus",
+    "MemoryModule",
+    "READABLE_STATES",
+    "WRITABLE_STATES",
+]

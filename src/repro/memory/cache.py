@@ -1,0 +1,174 @@
+"""Processor cache array: tags, states, and line data versions.
+
+The default machine (paper Section 4.2) has a 64 Kbyte, direct-mapped,
+copy-back cache with 16-byte lines per node.  The array is purely a tag/
+state store; all coherence *behaviour* lives in the cache controller
+(:mod:`repro.coherence.cache_ctrl`).  Associativity > 1 is supported as an
+extension (LRU replacement) but the paper's experiments use 1.
+
+Instead of carrying real data, every line carries a ``version`` integer:
+writes bump a per-block version and correctness checks assert that
+versions are never lost or reordered (see DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+class CacheState(enum.Enum):
+    """Local cache line states.
+
+    ``INVALID``, ``SHARED`` and ``DIRTY`` are the DASH states; ``MIGRATING``
+    is the single extra state the adaptive protocol adds (Section 3.4 of the
+    paper): the line was received with ownership because the block is
+    migratory, but the local processor has not written it yet.
+    """
+
+    INVALID = "I"
+    SHARED = "S"
+    DIRTY = "D"
+    MIGRATING = "M"
+
+
+#: States that permit a local write with no global action.
+WRITABLE_STATES = (CacheState.DIRTY, CacheState.MIGRATING)
+#: States that permit a local read hit.
+READABLE_STATES = (CacheState.SHARED, CacheState.DIRTY, CacheState.MIGRATING)
+
+
+@dataclass
+class CacheLine:
+    """One cache frame."""
+
+    tag: Optional[int] = None
+    state: CacheState = CacheState.INVALID
+    #: Data version (monotone per block, for coherence checking).
+    version: int = 0
+    #: Adaptive protocol: the line may not be replaced until home has
+    #: acknowledged the directory update (MIack, Figure 3 of the paper).
+    replace_locked: bool = False
+    #: LRU timestamp within the set.
+    last_used: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return self.state is not CacheState.INVALID
+
+    def invalidate(self) -> None:
+        self.state = CacheState.INVALID
+        self.tag = None
+        self.version = 0
+        self.replace_locked = False
+
+
+class CacheGeometryError(ValueError):
+    """Raised for inconsistent cache geometry parameters."""
+
+
+class CacheArray:
+    """A set-associative (default direct-mapped) tag/state array."""
+
+    def __init__(
+        self,
+        size_bytes: int,
+        line_bytes: int = 16,
+        associativity: int = 1,
+    ) -> None:
+        if size_bytes <= 0 or line_bytes <= 0 or associativity <= 0:
+            raise CacheGeometryError("cache parameters must be positive")
+        if size_bytes % (line_bytes * associativity) != 0:
+            raise CacheGeometryError(
+                f"size {size_bytes} not divisible by line*assoc "
+                f"({line_bytes}*{associativity})"
+            )
+        num_lines = size_bytes // line_bytes
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = num_lines // associativity
+        if self.num_sets & (self.num_sets - 1):
+            raise CacheGeometryError(f"number of sets must be a power of two, got {self.num_sets}")
+        if line_bytes & (line_bytes - 1):
+            raise CacheGeometryError(f"line size must be a power of two, got {line_bytes}")
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(associativity)] for _ in range(self.num_sets)
+        ]
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+    def block_of(self, addr: int) -> int:
+        """Block address (line-aligned) for a byte address."""
+        return addr // self.line_bytes
+
+    def set_index(self, block: int) -> int:
+        return block % self.num_sets
+
+    def tag_of(self, block: int) -> int:
+        return block // self.num_sets
+
+    def block_from(self, tag: int, set_index: int) -> int:
+        """Inverse of (tag_of, set_index)."""
+        return tag * self.num_sets + set_index
+
+    # ------------------------------------------------------------------
+    # Lookup / allocation
+    # ------------------------------------------------------------------
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """Return the valid line holding ``block``, or None."""
+        tag = self.tag_of(block)
+        for line in self._sets[self.set_index(block)]:
+            if line.valid and line.tag == tag:
+                return line
+        return None
+
+    def touch(self, line: CacheLine) -> None:
+        """Update LRU recency for ``line``."""
+        self._tick += 1
+        line.last_used = self._tick
+
+    def victim_for(self, block: int) -> CacheLine:
+        """Pick the frame ``block`` would occupy (invalid-first, then LRU).
+
+        Frames that are ``replace_locked`` are skipped unless every frame in
+        the set is locked, in which case the LRU locked frame is returned
+        and the caller must wait for the lock to clear (MIack arrival).
+        """
+        frames = self._sets[self.set_index(block)]
+        invalid = [f for f in frames if not f.valid]
+        if invalid:
+            return invalid[0]
+        unlocked = [f for f in frames if not f.replace_locked]
+        candidates = unlocked if unlocked else frames
+        return min(candidates, key=lambda f: f.last_used)
+
+    def install(self, block: int, state: CacheState, version: int) -> CacheLine:
+        """Place ``block`` into its frame; caller must have evicted the victim."""
+        line = self.victim_for(block)
+        if line.valid:
+            raise CacheGeometryError(
+                f"install over live line for block {block}: victim not evicted"
+            )
+        line.tag = self.tag_of(block)
+        line.state = state
+        line.version = version
+        line.replace_locked = False
+        self.touch(line)
+        return line
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, invariant checks)
+    # ------------------------------------------------------------------
+    def valid_blocks(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield (block, line) for every valid line."""
+        for set_index, frames in enumerate(self._sets):
+            for line in frames:
+                if line.valid:
+                    yield self.block_from(line.tag, set_index), line
+
+    def count_valid(self) -> int:
+        return sum(1 for _ in self.valid_blocks())

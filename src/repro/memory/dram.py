@@ -1,0 +1,49 @@
+"""Node memory module (DRAM) and its directory storage access port.
+
+The paper assumes a 100 ns memory cycle time including buffering — 10
+pclocks at the 100 MHz processor clock.  Directory state is held in the
+same module; a directory lookup that does not need the data array (e.g. a
+forward to a dirty owner) pays a shorter directory cycle.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Simulator
+from repro.sim.resource import Resource
+
+
+class MemoryModule:
+    """One node's share of distributed shared memory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        cycle: int = 10,
+        directory_cycle: int = 2,
+        infinite_bandwidth: bool = False,
+        name: str = "dram",
+    ) -> None:
+        self.sim = sim
+        self.cycle = cycle
+        self.directory_cycle = directory_cycle
+        from repro.sim.resource import InfiniteResource
+
+        self.resource = InfiniteResource(name) if infinite_bandwidth else Resource(name)
+        self.accesses = 0
+        self.directory_lookups = 0
+
+    def access(self, earliest: int) -> int:
+        """Full data-array access (read line or write line); returns end time."""
+        start = self.resource.reserve(earliest, self.cycle)
+        self.accesses += 1
+        return start + self.cycle
+
+    def directory_access(self, earliest: int) -> int:
+        """Directory-only lookup/update; returns end time."""
+        start = self.resource.reserve(earliest, self.directory_cycle)
+        self.directory_lookups += 1
+        return start + self.directory_cycle
+
+    def utilization(self, elapsed: int) -> float:
+        return self.resource.utilization(elapsed)

@@ -1,0 +1,15 @@
+"""Wormhole-routed mesh interconnect (two networks: requests and replies)."""
+
+from repro.network.interface import REPLY, REQUEST, Fabric
+from repro.network.mesh import Mesh
+from repro.network.message import DATA_BITS, HEADER_BITS, NetworkMessage
+
+__all__ = [
+    "DATA_BITS",
+    "Fabric",
+    "HEADER_BITS",
+    "Mesh",
+    "NetworkMessage",
+    "REPLY",
+    "REQUEST",
+]

@@ -1,0 +1,12 @@
+"""Discrete-event simulation substrate."""
+
+from repro.sim.engine import DeadlockError, SimulationError, Simulator
+from repro.sim.resource import InfiniteResource, Resource
+
+__all__ = [
+    "DeadlockError",
+    "InfiniteResource",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+]

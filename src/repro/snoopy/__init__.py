@@ -1,0 +1,20 @@
+"""Bus-based snoopy variant of the adaptive protocol (paper Section 6)."""
+
+from repro.snoopy.bus import BusOp, BusTiming, SnoopBus, transaction_bits
+from repro.snoopy.machine import SnoopyConfig, SnoopyMachine, SnoopyRunResult
+from repro.snoopy.protocol import BlockInfo, SnoopyCache, SnoopySystemState
+from repro.snoopy.update import WriteUpdateCache
+
+__all__ = [
+    "BlockInfo",
+    "BusOp",
+    "BusTiming",
+    "SnoopBus",
+    "SnoopyCache",
+    "SnoopyConfig",
+    "SnoopyMachine",
+    "SnoopyRunResult",
+    "SnoopySystemState",
+    "WriteUpdateCache",
+    "transaction_bits",
+]

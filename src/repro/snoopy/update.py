@@ -1,0 +1,200 @@
+"""Write-update snoopy protocol (Dragon/Firefly style) — the contrast case.
+
+The paper builds on *write-invalidate* because, for migratory data, each
+episode's single invalidation can be merged away entirely.  The classic
+alternative — a write-*update* protocol that broadcasts every write to
+all sharers — is the worst possible match for migratory sharing: once a
+block has been touched by many processors, every subsequent write inside
+a critical section broadcasts an update to caches that will never read
+the stale copies again (they are waiting for the lock, not the data).
+
+This module implements a simple atomic-bus write-update protocol so the
+benchmark suite can quantify that contrast:
+
+* line states: Invalid / Shared / Dirty (a lone writer may hold Dirty
+  and write locally; the first read by another processor makes the line
+  Shared everywhere);
+* a write to a Shared line broadcasts ``BusUpdate`` (address + the
+  written word, modeled as one line of data) and every sharer patches
+  its copy in place — nobody is invalidated, so sharer sets only grow
+  until replacement;
+* reads miss only on cold/capacity — after that, all reads hit.
+
+The processor-facing interface matches :class:`SnoopyCache`, so the same
+workloads and machine assembly run unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.memory.cache import CacheArray, CacheState
+from repro.network.message import DATA_BITS, HEADER_BITS
+from repro.snoopy.bus import BusOp
+from repro.snoopy.protocol import SnoopySystemState
+
+DoneCallback = Callable[[], None]
+
+#: Bus cost of an update broadcast: address phase + one line of data.
+UPDATE_BITS = HEADER_BITS + DATA_BITS
+
+
+class WriteUpdateCache:
+    """One processor's cache under the write-update protocol."""
+
+    def __init__(
+        self,
+        node: int,
+        system: SnoopySystemState,
+        cache: CacheArray,
+    ) -> None:
+        self.node = node
+        self.system = system
+        self.cache = cache
+        self.sim = system.sim
+        self._pending: Dict[int, List[Tuple[str, DoneCallback]]] = {}
+        system.caches.append(self)
+
+    # ------------------------------------------------------------------
+    # Processor interface (same shape as SnoopyCache)
+    # ------------------------------------------------------------------
+    def read(self, addr: int, done: DoneCallback) -> None:
+        block = self.cache.block_of(addr)
+        if block in self._pending:
+            self._pending[block].append(("r", done))
+            return
+        line = self.cache.lookup(block)
+        if line is not None:
+            self.cache.touch(line)
+            self.system.counters.inc("read_hits")
+            self.system.checker.on_read(self.node, block, line.version)
+            done()
+            return
+        self.system.counters.inc("read_misses")
+        self._pending[block] = []
+        self._transact_read(block, done)
+
+    def write(self, addr: int, done: DoneCallback) -> None:
+        block = self.cache.block_of(addr)
+        if block in self._pending:
+            self._pending[block].append(("w", done))
+            return
+        line = self.cache.lookup(block)
+        info = self.system.block(block)
+        if line is not None and line.state is CacheState.DIRTY:
+            # Sole copy: write locally, no broadcast.
+            self.cache.touch(line)
+            self.system.counters.inc("write_hits")
+            line.version = self.system.checker.on_write(self.node, block, line.version)
+            info.version = line.version
+            done()
+            return
+        # Shared (or missing): broadcast an update.
+        self.system.counters.inc(
+            "write_updates" if line is not None else "write_misses"
+        )
+        self._pending[block] = []
+        self._transact_write(block, done, have_copy=line is not None)
+
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def prefetch_exclusive(self, addr: int) -> bool:  # pragma: no cover - parity
+        return False
+
+    # ------------------------------------------------------------------
+    # Bus transactions
+    # ------------------------------------------------------------------
+    def _transact_read(self, block: int, done: DoneCallback) -> None:
+        info = self.system.block(block)
+        end = self.system.bus.acquire(BusOp.RD, sourced_by_cache=bool(info.sharers))
+
+        def complete() -> None:
+            # Any dirty holder downgrades to Shared (its data is current).
+            for cache in self.system.caches:
+                line = cache.cache.lookup(block)
+                if line is not None and line.state is CacheState.DIRTY:
+                    self.system.checker.release_writable(cache.node, block)
+                    line.state = CacheState.SHARED
+                    info.version = line.version
+            info.sharers.add(self.node)
+            self._install(block, CacheState.SHARED, info.version)
+            self._finish(block, done)
+
+        self.sim.schedule_at(end, complete)
+
+    def _transact_write(
+        self, block: int, done: DoneCallback, *, have_copy: bool
+    ) -> None:
+        info = self.system.block(block)
+        counters = self.system.counters
+        end = self.system.bus.acquire(BusOp.RD, sourced_by_cache=True)
+        # Account the broadcast explicitly (BusOp.RD already billed a data
+        # phase for the fill; the update itself is billed here).
+        self.system.bus.bits += UPDATE_BITS - (HEADER_BITS + DATA_BITS)
+
+        def complete() -> None:
+            # Snoop: every holder patches its copy in place.
+            holders = 0
+            new_version = self.system.checker.on_write(
+                self.node, block, info.version
+            )
+            info.version = new_version
+            for cache in self.system.caches:
+                if cache is self:
+                    continue
+                line = cache.cache.lookup(block)
+                if line is not None:
+                    if line.state is CacheState.DIRTY:
+                        # The broadcast makes the block multi-copy again.
+                        self.system.checker.release_writable(cache.node, block)
+                        line.state = CacheState.SHARED
+                    line.version = new_version
+                    holders += 1
+            counters.inc("updates_broadcast")
+            counters.inc("copies_updated", holders)
+            line = self.cache.lookup(block)
+            if line is None:
+                state = CacheState.SHARED if holders else CacheState.DIRTY
+                line = self._install(block, state, new_version)
+            else:
+                line.version = new_version
+                self.cache.touch(line)
+                if holders == 0 and line.state is not CacheState.DIRTY:
+                    # Last copy standing may become a silent local writer.
+                    line.state = CacheState.DIRTY
+                    self.system.checker.acquire_writable(self.node, block)
+            info.sharers.add(self.node)
+            self._finish(block, done)
+
+        self.sim.schedule_at(end, complete)
+
+    # ------------------------------------------------------------------
+    def _install(self, block: int, state: CacheState, version: int):
+        victim = self.cache.victim_for(block)
+        if victim.valid:
+            victim_block = self.cache.block_from(
+                victim.tag, self.cache.set_index(block)
+            )
+            if victim.state is CacheState.DIRTY:
+                self.system.counters.inc("writebacks")
+                self.system.block(victim_block).version = victim.version
+                self.system.checker.release_writable(self.node, victim_block)
+                self.system.bus.acquire(BusOp.WB, True)
+            else:
+                self.system.counters.inc("evictions_clean")
+            self.system.block(victim_block).sharers.discard(self.node)
+            victim.invalidate()
+        line = self.cache.install(block, state, version)
+        if state is CacheState.DIRTY:
+            self.system.checker.acquire_writable(self.node, block)
+        return line
+
+    def _finish(self, block: int, done: DoneCallback) -> None:
+        waiters = self._pending.pop(block, [])
+        done()
+        for op, callback in waiters:
+            if op == "r":
+                self.read(block * self.cache.line_bytes, callback)
+            else:
+                self.write(block * self.cache.line_bytes, callback)

@@ -1,0 +1,6 @@
+"""Statistics: counters and execution-time breakdowns."""
+
+from repro.stats.breakdown import StallBreakdown
+from repro.stats.counters import Counters
+
+__all__ = ["Counters", "StallBreakdown"]

@@ -1,0 +1,143 @@
+"""Per-block sharing-pattern classification (Gupta & Weber style).
+
+The paper closes with "it is an open question what type of sharing
+behavior is common and worthwhile to optimize" (Section 7).  This
+profiler answers it for any workload run on the simulator: it watches
+the request stream at every home directory and classifies each block by
+its observed pattern:
+
+``private``            one processor only
+``read-only``          at most the initializing write
+``migratory``          alternating writers, reads-then-writes,
+                       single-invalidation dominated
+``producer-consumer``  one writer, other readers
+``read-write-shared``  everything else (wide or irregular sharing)
+
+Enable with ``MachineConfig(profile_blocks=True)``; read the results with
+``machine.block_profiler.classify()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class BlockStats:
+    """Raw per-block observations at the home directory."""
+
+    readers: Set[int] = field(default_factory=set)
+    writers: Set[int] = field(default_factory=set)
+    reads: int = 0
+    writes: int = 0
+    #: Invalidation-count histogram per read-exclusive.
+    invals: Dict[int, int] = field(default_factory=dict)
+    #: Writes whose requester differs from the previous writer.
+    writer_changes: int = 0
+    _last_writer: Optional[int] = None
+
+    def record_read(self, requester: int) -> None:
+        self.reads += 1
+        self.readers.add(requester)
+
+    def record_write(self, requester: int, invalidations: int) -> None:
+        self.writes += 1
+        self.writers.add(requester)
+        self.invals[invalidations] = self.invals.get(invalidations, 0) + 1
+        if self._last_writer is not None and self._last_writer != requester:
+            self.writer_changes += 1
+        self._last_writer = requester
+
+    @property
+    def accessors(self) -> Set[int]:
+        return self.readers | self.writers
+
+    def single_inval_fraction(self) -> float:
+        if self.writes == 0:
+            return 0.0
+        return self.invals.get(1, 0) / self.writes
+
+
+#: Classification labels.
+PRIVATE = "private"
+READ_ONLY = "read-only"
+MIGRATORY = "migratory"
+PRODUCER_CONSUMER = "producer-consumer"
+READ_WRITE_SHARED = "read-write-shared"
+
+ALL_CLASSES = (PRIVATE, READ_ONLY, MIGRATORY, PRODUCER_CONSUMER, READ_WRITE_SHARED)
+
+
+def classify_block(stats: BlockStats) -> str:
+    """Label one block's observed sharing pattern."""
+    if len(stats.accessors) <= 1:
+        return PRIVATE
+    if stats.writes <= 1:
+        return READ_ONLY
+    if len(stats.writers) == 1:
+        return PRODUCER_CONSUMER
+    # Multiple writers: migratory iff ownership alternates and writes
+    # displace (at most) single copies.
+    if (
+        stats.single_inval_fraction() > 0.5
+        and stats.writer_changes >= max(1, stats.writes // 2)
+    ):
+        return MIGRATORY
+    return READ_WRITE_SHARED
+
+
+class BlockProfiler:
+    """Collects :class:`BlockStats` from every home directory."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BlockStats] = {}
+
+    def _stats(self, block: int) -> BlockStats:
+        stats = self.blocks.get(block)
+        if stats is None:
+            stats = BlockStats()
+            self.blocks[block] = stats
+        return stats
+
+    # Directory hooks ---------------------------------------------------
+    def on_read(self, block: int, requester: int) -> None:
+        self._stats(block).record_read(requester)
+
+    def on_write(self, block: int, requester: int, invalidations: int) -> None:
+        self._stats(block).record_write(requester, invalidations)
+
+    # Reporting ---------------------------------------------------------
+    def classify(self) -> Dict[int, str]:
+        return {block: classify_block(stats) for block, stats in self.blocks.items()}
+
+    def census(self) -> Dict[str, int]:
+        """Block count per class."""
+        counts = {label: 0 for label in ALL_CLASSES}
+        for label in self.classify().values():
+            counts[label] += 1
+        return counts
+
+    def reference_census(self) -> Dict[str, int]:
+        """References (reads+writes at home) per class — weights the
+        census by how much traffic each class actually generates."""
+        counts = {label: 0 for label in ALL_CLASSES}
+        for block, stats in self.blocks.items():
+            counts[classify_block(stats)] += stats.reads + stats.writes
+        return counts
+
+    def render(self) -> str:
+        census = self.census()
+        refs = self.reference_census()
+        total_blocks = max(1, sum(census.values()))
+        total_refs = max(1, sum(refs.values()))
+        lines = [
+            "Sharing-pattern census (per home-directory observations)",
+            f"{'class':<20}{'blocks':>8}{'%':>7}{'requests':>10}{'%':>7}",
+        ]
+        for label in ALL_CLASSES:
+            lines.append(
+                f"{label:<20}{census[label]:>8}{census[label] / total_blocks:>7.1%}"
+                f"{refs[label]:>10}{refs[label] / total_refs:>7.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Execution-time breakdown, Figure 5 style.
+
+The paper decomposes execution time into busy time, synchronization
+stall (waiting for a lock or at a barrier), read stall, and write stall.
+Each processor accumulates its own :class:`StallBreakdown`; machine-level
+results aggregate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class StallBreakdown:
+    """Cycles attributed to each execution-time component."""
+
+    busy: int = 0
+    sync_stall: int = 0
+    read_stall: int = 0
+    write_stall: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.sync_stall + self.read_stall + self.write_stall
+
+    def add(self, other: "StallBreakdown") -> None:
+        self.busy += other.busy
+        self.sync_stall += other.sync_stall
+        self.read_stall += other.read_stall
+        self.write_stall += other.write_stall
+
+    def fractions(self) -> Dict[str, float]:
+        """Each component as a fraction of the breakdown total."""
+        total = self.total
+        if total == 0:
+            return {"busy": 0.0, "sync": 0.0, "read": 0.0, "write": 0.0}
+        return {
+            "busy": self.busy / total,
+            "sync": self.sync_stall / total,
+            "read": self.read_stall / total,
+            "write": self.write_stall / total,
+        }
+
+    @staticmethod
+    def aggregate(parts: List["StallBreakdown"]) -> "StallBreakdown":
+        result = StallBreakdown()
+        for part in parts:
+            result.add(part)
+        return result

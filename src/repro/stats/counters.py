@@ -1,0 +1,69 @@
+"""Flat named counters shared by protocol components.
+
+Component code calls ``counters.inc("name")``; experiment code reads them
+back by name.  Keeping this schema-less makes it trivial for protocol
+handlers to record events without plumbing new fields everywhere; the
+well-known counter names are documented here.
+
+Well-known counters
+-------------------
+
+``read_hits`` / ``write_hits``            processor accesses served locally
+``read_misses``                           Rr transactions issued
+``write_misses``                          Rxq issued for an Invalid line
+``write_upgrades``                        Rxq issued for a Shared line
+``migrating_promotions``                  Migrating -> Dirty local writes
+                                          (the eliminated invalidations)
+``rxq_received``                          read-exclusive requests at homes
+                                          (Table 3 numerator)
+``rr_received``                           read-miss requests at homes
+``invalidations_sent``                    Inv messages sent by homes
+``nominations``                           blocks nominated migratory
+``migratory_reads``                       Mr forwards sent by homes
+``nomig_reverts``                         NoMig transitions (Section 5.4)
+``rxq_demotions``                         migratory -> ordinary via the
+                                          Figure 4 dashed-arrow heuristic
+``writebacks``                            replacement writebacks (dirty)
+``evictions_clean``                       silent shared replacements
+``naks``                                  forwards that missed (race)
+``cold_misses`` / ``coherence_misses`` / ``replacement_misses``
+                                          miss classification
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class Counters:
+    """A bag of named integer counters."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, int] = defaultdict(int)
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._values.get(name, 0)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def merge(self, other: "Counters") -> None:
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def clear(self) -> None:
+        """Reset every counter (end-of-warmup stats mark)."""
+        self._values.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counters({dict(self._values)!r})"

@@ -1,0 +1,17 @@
+"""Exhaustive model checking of the coherence protocol."""
+
+from repro.verify.checker import (
+    ExplorationResult,
+    StuckStateError,
+    explore,
+)
+from repro.verify.model import ProtocolModel, ProtocolViolation, State
+
+__all__ = [
+    "ExplorationResult",
+    "ProtocolModel",
+    "ProtocolViolation",
+    "State",
+    "StuckStateError",
+    "explore",
+]

@@ -1,0 +1,595 @@
+"""Untimed protocol model for exhaustive state-space exploration.
+
+The timed simulator exercises the protocol along whichever interleavings
+its (deterministic) event order produces; this module re-states the same
+protocol — W-I base plus the adaptive extension — as a nondeterministic
+transition system over ONE memory block, a home directory, and N caches,
+so that *every* reachable interleaving can be enumerated and checked
+(:mod:`repro.verify.checker`).
+
+Faithfulness to the implementation:
+
+* messages travel on FIFO channels per (src, dst, network), matching the
+  mesh's point-to-point ordering;
+* the home serializes transactions per block with a busy latch + queue,
+  NAKs forwards that miss, and retries after the writeback lands;
+* caches acknowledge invalidations immediately (consume-once shared
+  fills), defer forwards behind their own outstanding transaction unless
+  a writeback is in flight, and hold migrated lines unreplaceable until
+  home's MIack.
+
+Every state is an immutable tuple, so the checker can hash and dedupe.
+Processor behaviour is bounded: each cache may nondeterministically
+issue up to ``ops`` operations from {read, write, evict}, which keeps
+the space finite (sequential consistency: one outstanding op per cache).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.core.detection import should_nominate
+from repro.core.policy import ProtocolPolicy
+
+# ----------------------------------------------------------------------
+# Message and state vocabulary (mirrors repro.coherence.messages/states)
+# ----------------------------------------------------------------------
+RR, RXQ, FWD_RR, FWD_RXQ, MR, RP, RXP, MACK, INV, IACK = (
+    "Rr", "Rxq", "FwdRr", "FwdRxq", "Mr", "Rp", "Rxp", "Mack", "Inv", "Iack",
+)
+SW, DT, XFER, NOMIG, NAK, WB, WACK, MIACK = (
+    "Sw", "DT", "Xfer", "NoMig", "Nak", "Wb", "Wack", "MIack",
+)
+
+REPLY_NET = frozenset({RP, RXP, MACK, IACK, SW, NOMIG, WB, NAK})
+
+U, SR, DR, MD, MU = "U", "SR", "DR", "MD", "MU"  # directory states
+I, S, D, M = "I", "S", "D", "M"  # cache line states
+
+HOME = -1  # node id of the home directory
+
+
+class Msg(NamedTuple):
+    kind: str
+    src: int
+    dst: int
+    requester: int
+    version: int = 0
+    n_invals: int = 0
+    for_write: bool = False
+    miack_needed: bool = True
+
+    @property
+    def network(self) -> str:
+        return "reply" if self.kind in REPLY_NET else "request"
+
+
+class Mshr(NamedTuple):
+    is_write: bool
+    data: bool = False
+    fill: str = ""          # line state granted by the fill
+    version: int = 0
+    acks_expected: int = -1  # -1: unknown until Rxp arrives
+    acks_got: int = 0
+    inval_on_fill: bool = False
+    miack_needed: bool = False
+    miack_got: bool = False
+
+
+class CacheSt(NamedTuple):
+    line: str = I
+    version: int = 0
+    locked: bool = False            # replace_locked (MIack pending)
+    mshr: Optional[Mshr] = None
+    wb: int = 0                     # writebacks in flight
+    deferred: Tuple[Msg, ...] = ()
+    ops_left: int = 0
+
+
+class HomeSt(NamedTuple):
+    dir: str = U
+    sharers: FrozenSet[int] = frozenset()
+    owner: int = -2                 # -2: none
+    lw: int = -2                    # -2: invalid pointer
+    version: int = 0
+    busy: bool = False
+    awaiting_wb: bool = False
+    inflight: Tuple = ()            # (kind, requester, demote) or ()
+    pending: Tuple = ()             # queued (kind, requester)
+
+
+class State(NamedTuple):
+    home: HomeSt
+    caches: Tuple[CacheSt, ...]
+    #: FIFO channels: sorted tuple of ((src, dst, net), (msg, ...)).
+    channels: Tuple = ()
+    #: Globally latest committed version (the write-serialization oracle).
+    latest: int = 0
+
+
+class ProtocolViolation(Exception):
+    """An invariant failed in some reachable state."""
+
+
+# ----------------------------------------------------------------------
+# Channel helpers
+# ----------------------------------------------------------------------
+def _chan_key(msg: Msg) -> Tuple[int, int, str]:
+    return (msg.src, msg.dst, msg.network)
+
+
+def push(channels: Tuple, msg: Msg) -> Tuple:
+    table: Dict = dict(channels)
+    key = _chan_key(msg)
+    table[key] = table.get(key, ()) + (msg,)
+    return tuple(sorted(table.items()))
+
+
+def push_all(channels: Tuple, msgs: List[Msg]) -> Tuple:
+    for msg in msgs:
+        channels = push(channels, msg)
+    return channels
+
+
+def pop(channels: Tuple, key) -> Tuple[Msg, Tuple]:
+    table: Dict = dict(channels)
+    queue = table[key]
+    msg, rest = queue[0], queue[1:]
+    if rest:
+        table[key] = rest
+    else:
+        del table[key]
+    return msg, tuple(sorted(table.items()))
+
+
+# ----------------------------------------------------------------------
+# The transition relation
+# ----------------------------------------------------------------------
+class ProtocolModel:
+    """Enumerates successors of a protocol state."""
+
+    def __init__(self, num_caches: int = 3, ops: int = 2,
+                 policy: Optional[ProtocolPolicy] = None) -> None:
+        self.num_caches = num_caches
+        self.ops = ops
+        self.policy = policy or ProtocolPolicy.adaptive_default()
+
+    # ------------------------------------------------------------------
+    def initial(self) -> State:
+        return State(
+            home=HomeSt(),
+            caches=tuple(CacheSt(ops_left=self.ops) for _ in range(self.num_caches)),
+        )
+
+    def successors(self, state: State) -> Iterator[Tuple[str, State]]:
+        """Yield (label, next_state) for every enabled transition."""
+        # 1. Processor actions.
+        for node, cache in enumerate(state.caches):
+            if cache.ops_left <= 0 or cache.mshr is not None:
+                continue
+            yield from self._processor_actions(state, node, cache)
+        # 2. Message deliveries (one per channel head).
+        for key, _queue in state.channels:
+            msg, channels = pop(state.channels, key)
+            base = state._replace(channels=channels)
+            if msg.dst == HOME:
+                yield f"home<-{msg.kind}@{msg.src}", self._home_handle(base, msg)
+            else:
+                yield (
+                    f"c{msg.dst}<-{msg.kind}",
+                    self._cache_handle(base, msg.dst, msg),
+                )
+
+    # ------------------------------------------------------------------
+    # Processor actions
+    # ------------------------------------------------------------------
+    def _processor_actions(self, state, node, cache):
+        spent = cache._replace(ops_left=cache.ops_left - 1)
+        # Read.
+        if cache.line in (S, D, M):
+            new = self._set_cache(state, node, spent)
+            yield f"c{node}.read-hit", new
+        else:
+            mshr = Mshr(is_write=False)
+            new = self._set_cache(state, node, spent._replace(mshr=mshr))
+            new = new._replace(
+                channels=push(new.channels, Msg(RR, node, HOME, node))
+            )
+            yield f"c{node}.read-miss", new
+        # Write.
+        if cache.line in (D, M):
+            committed = self._commit_write(state, node, cache.version)
+            new_line = spent._replace(line=D, version=committed.latest)
+            yield f"c{node}.write-hit", self._set_cache(committed, node, new_line)
+        else:
+            mshr = Mshr(is_write=True)
+            new = self._set_cache(state, node, spent._replace(mshr=mshr))
+            new = new._replace(
+                channels=push(new.channels, Msg(RXQ, node, HOME, node))
+            )
+            yield f"c{node}.write-miss", new
+        # Eviction (replacement): silent for shared, writeback for owned.
+        if cache.line == S:
+            yield f"c{node}.evict-s", self._set_cache(
+                state, node, spent._replace(line=I, version=0)
+            )
+        elif cache.line in (D, M) and not cache.locked:
+            new_cache = spent._replace(line=I, version=0, wb=cache.wb + 1)
+            new = self._set_cache(state, node, new_cache)
+            new = new._replace(
+                channels=push(
+                    new.channels,
+                    Msg(WB, node, HOME, node, version=cache.version),
+                )
+            )
+            yield f"c{node}.evict-d", new
+
+    def _commit_write(self, state: State, node: int, old_version: int) -> State:
+        if old_version != state.latest:
+            raise ProtocolViolation(
+                f"lost update: cache {node} wrote on version {old_version}, "
+                f"latest is {state.latest}"
+            )
+        return state._replace(latest=state.latest + 1)
+
+    # ------------------------------------------------------------------
+    # Home directory (mirrors repro.coherence.directory)
+    # ------------------------------------------------------------------
+    def _home_handle(self, state: State, msg: Msg) -> State:
+        home = state.home
+        kind = msg.kind
+        if kind in (RR, RXQ):
+            if home.busy:
+                return state._replace(
+                    home=home._replace(pending=home.pending + ((kind, msg.requester),))
+                )
+            return self._home_process(state, kind, msg.requester)
+        if kind == SW:
+            home = home._replace(
+                dir=SR,
+                version=msg.version,
+                sharers=frozenset({msg.src, msg.requester}),
+                owner=-2,
+            )
+            return self._home_complete(state._replace(home=home))
+        if kind == XFER:
+            home = home._replace(
+                dir=DR, owner=msg.requester, sharers=frozenset(), lw=msg.requester
+            )
+            new = state._replace(
+                home=home,
+                channels=push(
+                    state.channels, Msg(MIACK, HOME, msg.requester, msg.requester)
+                ),
+            )
+            return self._home_complete(new)
+        if kind == DT:
+            _k, requester, demote = home.inflight
+            if demote:
+                home = home._replace(dir=DR, owner=requester, lw=requester)
+            else:
+                home = home._replace(dir=MD, owner=requester)
+            home = home._replace(sharers=frozenset())
+            new = state._replace(
+                home=home,
+                channels=push(
+                    state.channels, Msg(MIACK, HOME, requester, requester)
+                ),
+            )
+            return self._home_complete(new)
+        if kind == NOMIG:
+            home = home._replace(
+                dir=SR,
+                version=msg.version,
+                sharers=frozenset({msg.src, msg.requester}),
+                owner=-2,
+                lw=-2,
+            )
+            return self._home_complete(state._replace(home=home))
+        if kind == NAK:
+            inflight_kind, requester, _demote = home.inflight
+            home = home._replace(
+                inflight=(), pending=((inflight_kind, requester),) + home.pending
+            )
+            if home.dir in (U, SR, MU):
+                home = home._replace(busy=False)
+                return self._home_drain(state._replace(home=home))
+            return state._replace(home=home._replace(awaiting_wb=True))
+        if kind == WB:
+            if home.owner != msg.src:
+                raise ProtocolViolation(
+                    f"writeback from {msg.src} but owner is {home.owner}"
+                )
+            home = home._replace(
+                dir=MU if home.dir == MD else U,
+                owner=-2,
+                version=msg.version,
+            )
+            new = state._replace(
+                home=home,
+                channels=push(state.channels, Msg(WACK, HOME, msg.src, msg.src)),
+            )
+            if home.busy and home.awaiting_wb:
+                new = new._replace(
+                    home=new.home._replace(busy=False, awaiting_wb=False)
+                )
+                return self._home_drain(new)
+            return new
+        raise ProtocolViolation(f"home got unexpected {msg}")
+
+    def _home_process(self, state: State, kind: str, requester: int) -> State:
+        home = state.home
+        if kind == RR:
+            if home.dir in (U, SR):
+                sharers = home.sharers | {requester}
+                lw = -2 if len(sharers) > 2 else home.lw
+                home = home._replace(dir=SR, sharers=sharers, lw=lw)
+                return state._replace(
+                    home=home,
+                    channels=push(
+                        state.channels,
+                        Msg(RP, HOME, requester, requester, version=home.version),
+                    ),
+                )
+            if home.dir == MU:
+                home = home._replace(dir=MD, owner=requester, sharers=frozenset())
+                return state._replace(
+                    home=home,
+                    channels=push(
+                        state.channels,
+                        Msg(
+                            MACK, HOME, requester, requester,
+                            version=home.version, miack_needed=False,
+                        ),
+                    ),
+                )
+            if home.dir == DR:
+                if home.owner == requester:
+                    return self._wait_wb(state, kind, requester)
+                return self._forward(state, FWD_RR, requester, demote=False)
+            if home.dir == MD:
+                if home.owner == requester:
+                    return self._wait_wb(state, kind, requester)
+                return self._forward(state, MR, requester, demote=False)
+        else:  # RXQ
+            if home.dir == U:
+                home = home._replace(dir=DR, owner=requester, lw=requester,
+                                     sharers=frozenset())
+                return state._replace(
+                    home=home,
+                    channels=push(
+                        state.channels,
+                        Msg(RXP, HOME, requester, requester,
+                            version=home.version, n_invals=0,
+                            miack_needed=False),
+                    ),
+                )
+            if home.dir == SR:
+                others = home.sharers - {requester}
+                lw_value = None if home.lw == -2 else home.lw
+                nominate = self.policy.adaptive and should_nominate(
+                    len(home.sharers), requester, lw_value
+                )
+                home = home._replace(
+                    dir=MD if nominate else DR,
+                    owner=requester,
+                    sharers=frozenset(),
+                    lw=requester,
+                )
+                msgs = [
+                    Msg(RXP, HOME, requester, requester,
+                        version=home.version, n_invals=len(others),
+                        miack_needed=False)
+                ]
+                msgs += [Msg(INV, HOME, s, requester) for s in sorted(others)]
+                return state._replace(
+                    home=home, channels=push_all(state.channels, msgs)
+                )
+            if home.dir == MU:
+                if self.policy.rxq_reverts_to_ordinary:
+                    home = home._replace(dir=DR, lw=requester)
+                else:
+                    home = home._replace(dir=MD)
+                home = home._replace(owner=requester, sharers=frozenset())
+                return state._replace(
+                    home=home,
+                    channels=push(
+                        state.channels,
+                        Msg(RXP, HOME, requester, requester,
+                            version=home.version, n_invals=0,
+                            miack_needed=False),
+                    ),
+                )
+            if home.dir == DR:
+                if home.owner == requester:
+                    return self._wait_wb(state, kind, requester)
+                return self._forward(state, FWD_RXQ, requester, demote=False)
+            if home.dir == MD:
+                if home.owner == requester:
+                    return self._wait_wb(state, kind, requester)
+                return self._forward(
+                    state, MR, requester,
+                    demote=self.policy.rxq_reverts_to_ordinary, for_write=True,
+                )
+        raise ProtocolViolation(f"unhandled {kind} in {home.dir}")
+
+    def _forward(self, state, fwd_kind, requester, demote, for_write=False):
+        home = state.home._replace(
+            busy=True,
+            inflight=(fwd_kind, requester, demote),
+        )
+        return state._replace(
+            home=home,
+            channels=push(
+                state.channels,
+                Msg(fwd_kind, HOME, state.home.owner, requester,
+                    for_write=for_write),
+            ),
+        )
+
+    def _wait_wb(self, state, kind, requester):
+        home = state.home._replace(
+            busy=True,
+            awaiting_wb=True,
+            inflight=(),
+            pending=((kind, requester),) + state.home.pending,
+        )
+        return state._replace(home=home)
+
+    def _home_complete(self, state: State) -> State:
+        home = state.home._replace(busy=False, inflight=())
+        return self._home_drain(state._replace(home=home))
+
+    def _home_drain(self, state: State) -> State:
+        while state.home.pending and not state.home.busy:
+            (kind, requester), rest = state.home.pending[0], state.home.pending[1:]
+            state = state._replace(home=state.home._replace(pending=rest))
+            state = self._home_process(state, kind, requester)
+        return state
+
+    # ------------------------------------------------------------------
+    # Cache controller (mirrors repro.coherence.cache_ctrl)
+    # ------------------------------------------------------------------
+    def _cache_handle(self, state: State, node: int, msg: Msg) -> State:
+        cache = state.caches[node]
+        kind = msg.kind
+        if kind == RP:
+            mshr = cache.mshr._replace(data=True, fill=S, version=msg.version)
+            return self._maybe_retire(state, node, cache._replace(mshr=mshr))
+        if kind == RXP:
+            mshr = cache.mshr._replace(
+                data=True, fill=D, version=msg.version,
+                acks_expected=msg.n_invals,
+                miack_needed=msg.miack_needed,
+            )
+            return self._maybe_retire(state, node, cache._replace(mshr=mshr))
+        if kind == MACK:
+            fill = D if cache.mshr.is_write else M
+            mshr = cache.mshr._replace(
+                data=True, fill=fill, version=msg.version,
+                acks_expected=0, miack_needed=msg.miack_needed,
+            )
+            return self._maybe_retire(state, node, cache._replace(mshr=mshr))
+        if kind == IACK:
+            mshr = cache.mshr._replace(acks_got=cache.mshr.acks_got + 1)
+            return self._maybe_retire(state, node, cache._replace(mshr=mshr))
+        if kind == MIACK:
+            if cache.mshr is not None:
+                cache = cache._replace(mshr=cache.mshr._replace(miack_got=True))
+            else:
+                cache = cache._replace(locked=False)
+            return self._set_cache(state, node, cache)
+        if kind == INV:
+            msgs = [Msg(IACK, node, msg.requester, msg.requester)]
+            if cache.line == S:
+                cache = cache._replace(line=I, version=0)
+            elif cache.line in (D, M):
+                raise ProtocolViolation(f"Inv hit owned line at cache {node}")
+            if cache.mshr is not None and not cache.mshr.is_write:
+                cache = cache._replace(
+                    mshr=cache.mshr._replace(inval_on_fill=True)
+                )
+            new = self._set_cache(state, node, cache)
+            return new._replace(channels=push_all(new.channels, msgs))
+        if kind in (FWD_RR, FWD_RXQ, MR):
+            return self._serve_forward(state, node, msg)
+        if kind == WACK:
+            if cache.wb <= 0:
+                raise ProtocolViolation(f"Wack with no writeback at cache {node}")
+            return self._set_cache(state, node, cache._replace(wb=cache.wb - 1))
+        raise ProtocolViolation(f"cache {node} got unexpected {msg}")
+
+    def _serve_forward(self, state: State, node: int, msg: Msg) -> State:
+        cache = state.caches[node]
+        if cache.wb > 0:
+            return state._replace(
+                channels=push(
+                    state.channels, Msg(NAK, node, HOME, msg.requester)
+                )
+            )
+        if cache.mshr is not None:
+            return self._set_cache(
+                state, node, cache._replace(deferred=cache.deferred + (msg,))
+            )
+        if cache.line == I:
+            raise ProtocolViolation(
+                f"forward {msg.kind} to cache {node} with no copy or writeback"
+            )
+        if msg.kind == FWD_RR:
+            if cache.line != D:
+                raise ProtocolViolation(f"FwdRr hit {cache.line} at {node}")
+            msgs = [
+                Msg(RP, node, msg.requester, msg.requester, version=cache.version),
+                Msg(SW, node, HOME, msg.requester, version=cache.version),
+            ]
+            cache = cache._replace(line=S)
+        elif msg.kind == FWD_RXQ:
+            if cache.line != D:
+                raise ProtocolViolation(f"FwdRxq hit {cache.line} at {node}")
+            msgs = [
+                Msg(RXP, node, msg.requester, msg.requester,
+                    version=cache.version, n_invals=0),
+                Msg(XFER, node, HOME, msg.requester),
+            ]
+            cache = cache._replace(line=I, version=0)
+        else:  # MR
+            if cache.line == M and not msg.for_write and self.policy.nomig_enabled:
+                msgs = [
+                    Msg(RP, node, msg.requester, msg.requester,
+                        version=cache.version),
+                    Msg(NOMIG, node, HOME, msg.requester, version=cache.version),
+                ]
+                cache = cache._replace(line=S, locked=False)
+            elif cache.line in (D, M):
+                msgs = [
+                    Msg(MACK, node, msg.requester, msg.requester,
+                        version=cache.version, miack_needed=True),
+                    Msg(DT, node, HOME, msg.requester),
+                ]
+                cache = cache._replace(line=I, version=0, locked=False)
+            else:
+                raise ProtocolViolation(f"Mr hit {cache.line} at {node}")
+        new = self._set_cache(state, node, cache)
+        return new._replace(channels=push_all(new.channels, msgs))
+
+    def _maybe_retire(self, state: State, node: int, cache: CacheSt) -> State:
+        mshr = cache.mshr
+        if not mshr.data:
+            return self._set_cache(state, node, cache)
+        if (
+            mshr.is_write
+            and mshr.acks_expected >= 0
+            and mshr.acks_got < mshr.acks_expected
+        ):
+            return self._set_cache(state, node, cache)
+        if mshr.is_write and mshr.acks_expected < 0:
+            return self._set_cache(state, node, cache)
+        # Retire.
+        consume_once = mshr.inval_on_fill and mshr.fill == S
+        if consume_once:
+            cache = cache._replace(line=I, version=0, mshr=None)
+            state = self._set_cache(state, node, cache)
+        else:
+            locked = mshr.miack_needed and not mshr.miack_got
+            cache = cache._replace(
+                line=mshr.fill, version=mshr.version, locked=locked, mshr=None
+            )
+            state = self._set_cache(state, node, cache)
+            if mshr.is_write:
+                state = self._commit_write(state, node, mshr.version)
+                cache = state.caches[node]._replace(version=state.latest)
+                state = self._set_cache(state, node, cache)
+        # Serve deferred forwards in order.
+        deferred = state.caches[node].deferred
+        state = self._set_cache(
+            state, node, state.caches[node]._replace(deferred=())
+        )
+        for fwd in deferred:
+            state = self._serve_forward(state, node, fwd)
+        return state
+
+    # ------------------------------------------------------------------
+    def _set_cache(self, state: State, node: int, cache: CacheSt) -> State:
+        caches = list(state.caches)
+        caches[node] = cache
+        return state._replace(caches=tuple(caches))

@@ -1,0 +1,62 @@
+"""Workload framework.
+
+A workload builds one operation generator per processor over a shared
+address space laid out with :class:`~repro.machine.allocator.SharedAllocator`.
+Because the processors advance the generators only as simulated time
+passes, the interleaving is program-driven (paper Section 4.1).
+
+The four paper benchmarks are modeled synthetically (the SPLASH sources
+and inputs are not available offline): each model reproduces the *sharing
+pattern* the paper attributes to its benchmark — see the module
+docstrings of :mod:`repro.workloads.mp3d`, ``cholesky``, ``water`` and
+``lu`` — so the same protocol code paths fire in the same proportions.
+DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List
+
+from repro.cpu.ops import Op
+from repro.machine.allocator import SharedAllocator
+
+
+class Workload(abc.ABC):
+    """A parallel program factory: one op generator per processor."""
+
+    #: Short name used by the experiment harness and CLI.
+    name: str = "workload"
+
+    def __init__(self, num_processors: int, *, line_size: int = 16, seed: int = 42) -> None:
+        if num_processors < 1:
+            raise ValueError("need at least one processor")
+        self.num_processors = num_processors
+        self.line_size = line_size
+        self.seed = seed
+        self.allocator = SharedAllocator(line_size=line_size)
+
+    @abc.abstractmethod
+    def program(self, processor: int) -> Iterator[Op]:
+        """The operation stream for one processor."""
+
+    def programs(self) -> List[Iterator[Op]]:
+        """One generator per processor, ready for :meth:`Machine.run`."""
+        return [self.program(p) for p in range(self.num_processors)]
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, reports)
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Human-readable parameter summary."""
+        return {
+            "name": self.name,
+            "processors": self.num_processors,
+            "shared_bytes": self.allocator.bytes_used,
+            "seed": self.seed,
+        }
+
+
+def fresh_programs(workload_cls, num_processors: int, **params) -> List[Iterator[Op]]:
+    """Convenience: instantiate ``workload_cls`` and return its programs."""
+    return workload_cls(num_processors, **params).programs()

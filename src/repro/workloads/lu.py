@@ -1,0 +1,106 @@
+"""LU model: dense blocked LU decomposition — the non-migratory control.
+
+Paper Section 5.1: "In LU there are virtually no migratory objects, and
+consequently, no performance improvement.  However, LU demonstrates that
+the adaptive protocol does not impact adversely on the performance as a
+result of erroneous detections."
+
+The model: matrix columns are interleaved over processors.  At step k the
+owner factors column k (read-modify-write of its own, cache-resident
+data), everyone synchronizes, then every processor reads the pivot column
+(wide producer-consumer sharing — many sharers, so the N==2 nomination
+condition never fires) and updates its *own* remaining columns (which
+stay dirty in its own cache: write hits, no global requests).  The only
+read-exclusive requests are first-touch writes and the per-step pivot
+re-dirtying, neither of which the adaptive protocol can or should
+eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cpu.ops import Barrier, Compute, Op, Read, StatsMark, Write
+from repro.workloads.base import Workload
+
+
+class LU(Workload):
+    """Synthetic dense LU (paper run: 200x200 matrix)."""
+
+    name = "lu"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        columns: int = 32,
+        lines_per_column: int = 4,
+        factor_work: int = 40,
+        update_work: int = 8,
+        flush_lines: int = 4096,
+        **kwargs,
+    ) -> None:
+        super().__init__(num_processors, **kwargs)
+        if columns < num_processors:
+            raise ValueError("need at least one column per processor")
+        self.columns = columns
+        self.lines_per_column = lines_per_column
+        self.factor_work = factor_work
+        self.update_work = update_work
+        #: The paper's 200x200 matrix vastly exceeds one cache; after the
+        #: sequential fill, the master's copies are long evicted.  Our
+        #: scaled matrix would linger in the master's cache and make the
+        #: workers' first writes look migratory, so the master streams
+        #: through a scratch region to evict them (size covers the default
+        #: 64 KB cache).
+        self.flush_lines = flush_lines
+        self.matrix = self.allocator.alloc_array(
+            columns, lines_per_column * self.line_size, "matrix"
+        )
+        self.scratch = self.allocator.alloc_array(flush_lines, self.line_size, "scratch")
+
+    def owner_of(self, column: int) -> int:
+        """Columns are interleaved across processors (SPLASH LU style)."""
+        return column % self.num_processors
+
+    def program(self, processor: int) -> Iterator[Op]:
+        def gen() -> Iterator[Op]:
+            line = self.line_size
+            # Initialization: processor 0 fills the whole matrix (the
+            # sequential setup that precedes the parallel section).  The
+            # other processors' first touches of their columns then happen
+            # inside the measured region — which is where LU's (few,
+            # non-migratory) read-exclusive requests come from.
+            if processor == 0:
+                for j in range(self.columns):
+                    for ln in range(self.lines_per_column):
+                        yield Write(self.matrix.addr(j, ln * line))
+                for ln in range(self.flush_lines):
+                    yield Read(self.scratch.addr(ln))
+            yield StatsMark()
+            for k in range(self.columns):
+                if self.owner_of(k) == processor:
+                    # Factor the pivot column (local after first touch).
+                    yield Compute(self.factor_work)
+                    for ln in range(self.lines_per_column):
+                        yield Read(self.matrix.addr(k, ln * line))
+                    for ln in range(self.lines_per_column):
+                        yield Write(self.matrix.addr(k, ln * line))
+                yield Barrier(k)
+                # Everyone reads the pivot column and updates its own
+                # remaining columns.
+                read_pivot = False
+                for j in range(k + 1, self.columns):
+                    if self.owner_of(j) != processor:
+                        continue
+                    if not read_pivot:
+                        for ln in range(self.lines_per_column):
+                            yield Read(self.matrix.addr(k, ln * line))
+                        read_pivot = True
+                    yield Compute(self.update_work * self.lines_per_column)
+                    for ln in range(self.lines_per_column):
+                        yield Read(self.matrix.addr(j, ln * line))
+                    for ln in range(self.lines_per_column):
+                        yield Write(self.matrix.addr(j, ln * line))
+
+        return gen()

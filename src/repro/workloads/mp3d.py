@@ -1,0 +1,125 @@
+"""MP3D model: particle-based wind-tunnel simulator.
+
+The paper (Section 5.1, after Gupta & Weber) attributes MP3D's migratory
+sharing to "reading and modifying the particle and space-array entries.
+Even though the modifications are not protected by locks, they behave as
+migratory because a modification by a processor follows closely after the
+read access."
+
+The model: particles are statically partitioned among processors; every
+time step each processor moves its particles — a read-modify-write of the
+particle record (mostly cache-resident after the first step) — and
+accumulates each particle into the space cell it currently occupies — an
+*unprotected tight read-modify-write* of a cell record shared by all
+processors.  Cells are picked pseudo-randomly per (particle, step), so
+consecutive writers of a cell are almost always different processors:
+exactly the ``(R_i)(W_i)(R_j)(W_j)...`` pattern of expression (1).
+Occasional collisions read-modify-write a random *other* particle's
+record, adding a second migratory stream.  Compute costs are small —
+MP3D is notoriously communication-bound (the paper measures only 17%
+busy time under W-I).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.cpu.ops import Barrier, Compute, Op, Read, StatsMark, Write
+from repro.workloads.base import Workload
+
+
+class MP3D(Workload):
+    """Synthetic MP3D (paper run: 10,000 particles, 10 steps)."""
+
+    name = "mp3d"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        particles: int = 512,
+        steps: int = 5,
+        warmup_steps: int = 2,
+        cells: int = 256,
+        particle_lines: int = 2,
+        cell_lines: int = 1,
+        collision_fraction: float = 0.3,
+        peek_fraction: float = 0.05,
+        move_work: int = 20,
+        **kwargs,
+    ) -> None:
+        super().__init__(num_processors, **kwargs)
+        if particles < num_processors:
+            raise ValueError("need at least one particle per processor")
+        self.particles = particles
+        self.steps = steps
+        self.warmup_steps = warmup_steps
+        self.cells = cells
+        self.particle_lines = particle_lines
+        self.cell_lines = cell_lines
+        self.collision_fraction = collision_fraction
+        self.peek_fraction = peek_fraction
+        self.move_work = move_work
+        self.particle_array = self.allocator.alloc_array(
+            particles, particle_lines * self.line_size, "particles"
+        )
+        self.space_array = self.allocator.alloc_array(
+            cells, cell_lines * self.line_size, "space"
+        )
+
+    def _my_particles(self, processor: int) -> range:
+        per = self.particles // self.num_processors
+        extra = self.particles % self.num_processors
+        start = processor * per + min(processor, extra)
+        count = per + (1 if processor < extra else 0)
+        return range(start, start + count)
+
+    def program(self, processor: int) -> Iterator[Op]:
+        rng = random.Random(self.seed * 65537 + processor)
+
+        def rmw_record(array, index, lines) -> Iterator[Op]:
+            for ln in range(lines):
+                yield Read(array.addr(index, ln * self.line_size))
+            for ln in range(lines):
+                yield Write(array.addr(index, ln * self.line_size))
+
+        def gen() -> Iterator[Op]:
+            mine = self._my_particles(processor)
+            for step in range(self.warmup_steps + self.steps):
+                if step == self.warmup_steps:
+                    # Caches are warm; steady-state measurement starts
+                    # (paper Section 4.3).
+                    yield StatsMark()
+                for particle in mine:
+                    yield Compute(self.move_work)
+                    # Move the particle: RMW its own record.
+                    yield from rmw_record(
+                        self.particle_array, particle, self.particle_lines
+                    )
+                    # Accumulate into the space cell under the particle —
+                    # the unprotected migratory read-modify-write.
+                    cell = rng.randrange(self.cells)
+                    yield from rmw_record(self.space_array, cell, self.cell_lines)
+                    # Occasional collision with a random other particle.
+                    if rng.random() < self.collision_fraction:
+                        other = rng.randrange(self.particles)
+                        yield Compute(2)
+                        yield from rmw_record(
+                            self.particle_array, other, self.particle_lines
+                        )
+                    # Neighbour peek: read-only inspection of another
+                    # particle (velocity lookups, boundary checks).  This
+                    # is producer-consumer sharing — the owner rewrites the
+                    # record next step — which the adaptive protocol must
+                    # *not* optimize, diluting both the read-exclusive and
+                    # the traffic reduction as in the real application.
+                    if rng.random() < self.peek_fraction:
+                        other = rng.randrange(self.particles)
+                        for ln in range(self.particle_lines):
+                            yield Read(
+                                self.particle_array.addr(other, ln * self.line_size)
+                            )
+                yield Barrier(step)
+
+        return gen()

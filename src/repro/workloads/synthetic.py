@@ -1,0 +1,210 @@
+"""Synthetic micro-workloads exercising specific sharing patterns.
+
+These are the distilled patterns of Section 2 of the paper, used by the
+test suite, the examples, and the ablation benchmarks:
+
+* :class:`MigratoryCounters` — the critical-section pattern of expression
+  (1): lock, read, modify, write, unlock; each counter migrates between
+  processors and a single invalidation per episode becomes zero under AD.
+* :class:`ProducerConsumer` — one writer, one or more readers per
+  variable; must NOT be detected as migratory (the LW != i condition).
+* :class:`ReadOnlySharing` — widely read data after an initialization
+  write; exercises the NoMig revert when a block was wrongly nominated.
+* :class:`UnsynchronizedMix` — random traffic for stress and ablations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.cpu.ops import (
+    Barrier,
+    Compute,
+    Lock,
+    Op,
+    PrefetchEx,
+    Read,
+    Unlock,
+    Write,
+)
+from repro.workloads.base import Workload
+
+
+class MigratoryCounters(Workload):
+    """Lock-protected shared counters, round-robin and randomized access.
+
+    Each iteration: take a lock, read-modify-write every line of the
+    protected record, release.  The per-record access sequence seen by
+    home is exactly ``Rr_i Rxq_i Rr_j Rxq_j ...`` — pure migratory
+    sharing.
+    """
+
+    name = "migratory-counters"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        num_counters: int = 4,
+        iterations: int = 20,
+        record_lines: int = 1,
+        work_cycles: int = 10,
+        use_prefetch: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(num_processors, **kwargs)
+        self.num_counters = num_counters
+        self.iterations = iterations
+        self.record_lines = record_lines
+        self.work_cycles = work_cycles
+        #: Insert software read-exclusive prefetches at critical-section
+        #: entry (the paper's Section 6 alternative to the adaptive
+        #: protocol).
+        self.use_prefetch = use_prefetch
+        self.records = self.allocator.alloc_array(
+            num_counters, record_lines * self.line_size, name="counters"
+        )
+
+    def program(self, processor: int) -> Iterator[Op]:
+        rng = random.Random(self.seed * 1009 + processor)
+
+        def gen() -> Iterator[Op]:
+            for _ in range(self.iterations):
+                which = rng.randrange(self.num_counters)
+                yield Lock(which)
+                if self.use_prefetch:
+                    for ln in range(self.record_lines):
+                        yield PrefetchEx(
+                            self.records.addr(which, ln * self.line_size)
+                        )
+                for ln in range(self.record_lines):
+                    yield Read(self.records.addr(which, ln * self.line_size))
+                yield Compute(self.work_cycles)
+                for ln in range(self.record_lines):
+                    yield Write(self.records.addr(which, ln * self.line_size))
+                yield Unlock(which)
+
+        return gen()
+
+
+class ProducerConsumer(Workload):
+    """Flag-style communication: processor 0 writes, others read.
+
+    The global sequence per variable is ``Rxq_0 Rr_j Rxq_0 Rr_k ...`` —
+    the last writer is always processor 0, so the detection condition
+    (LW != requester) must keep the block ordinary.
+    """
+
+    name = "producer-consumer"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        num_items: int = 8,
+        rounds: int = 10,
+        **kwargs,
+    ) -> None:
+        super().__init__(num_processors, **kwargs)
+        self.num_items = num_items
+        self.rounds = rounds
+        self.items = self.allocator.alloc_array(num_items, self.line_size, "items")
+
+    def program(self, processor: int) -> Iterator[Op]:
+        def producer() -> Iterator[Op]:
+            for round_ in range(self.rounds):
+                for item in range(self.num_items):
+                    yield Write(self.items.addr(item))
+                yield Barrier(2 * round_)
+                yield Barrier(2 * round_ + 1)
+
+        def consumer() -> Iterator[Op]:
+            for round_ in range(self.rounds):
+                yield Barrier(2 * round_)
+                for item in range(self.num_items):
+                    yield Read(self.items.addr(item))
+                yield Compute(5)
+                yield Barrier(2 * round_ + 1)
+
+        return producer() if processor == 0 else consumer()
+
+
+class ReadOnlySharing(Workload):
+    """Data written once, then only read by alternating processors.
+
+    The first two read-modify-write episodes look migratory and may be
+    nominated; the subsequent read-only ping-pong must trigger the NoMig
+    revert so readers end up with ordinary shared copies.
+    """
+
+    name = "read-only"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        num_items: int = 4,
+        read_rounds: int = 12,
+        **kwargs,
+    ) -> None:
+        super().__init__(num_processors, **kwargs)
+        self.num_items = num_items
+        self.read_rounds = read_rounds
+        self.items = self.allocator.alloc_array(num_items, self.line_size, "ro")
+
+    def program(self, processor: int) -> Iterator[Op]:
+        def gen() -> Iterator[Op]:
+            # Initialization phase: two processors read-modify-write, which
+            # nominates the blocks as migratory.
+            if processor in (0, 1):
+                for item in range(self.num_items):
+                    yield Lock(item)
+                    yield Read(self.items.addr(item))
+                    yield Write(self.items.addr(item))
+                    yield Unlock(item)
+            yield Barrier(0)
+            # Read-only phase: everyone just reads, repeatedly.
+            for round_ in range(self.read_rounds):
+                for item in range(self.num_items):
+                    yield Read(self.items.addr(item))
+                yield Compute(3)
+            yield Barrier(1)
+
+        return gen()
+
+
+class UnsynchronizedMix(Workload):
+    """Random reads/writes over a small pool (stress / ablation traffic)."""
+
+    name = "random-mix"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        num_blocks: int = 64,
+        ops: int = 200,
+        write_fraction: float = 0.3,
+        **kwargs,
+    ) -> None:
+        super().__init__(num_processors, **kwargs)
+        self.num_blocks = num_blocks
+        self.ops = ops
+        self.write_fraction = write_fraction
+        self.pool = self.allocator.alloc_array(num_blocks, self.line_size, "pool")
+
+    def program(self, processor: int) -> Iterator[Op]:
+        rng = random.Random(self.seed * 7919 + processor)
+
+        def gen() -> Iterator[Op]:
+            for _ in range(self.ops):
+                addr = self.pool.addr(rng.randrange(self.num_blocks))
+                if rng.random() < self.write_fraction:
+                    yield Write(addr)
+                else:
+                    yield Read(addr)
+                if rng.random() < 0.25:
+                    yield Compute(rng.randrange(1, 6))
+
+        return gen()

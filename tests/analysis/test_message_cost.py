@@ -1,0 +1,59 @@
+"""Tests of the Section 5.2 message-cost arithmetic."""
+
+import pytest
+
+from repro.analysis import (
+    ad_episode_cost,
+    breakdown_table,
+    episode_cost,
+    migratory_traffic_reduction,
+    wi_episode_cost,
+)
+from repro.coherence.messages import MsgKind
+
+
+def test_wi_episode_is_704_bits():
+    cost = wi_episode_cost()
+    assert cost.total_bits == 704
+    assert cost.message_count == 8
+    assert cost.data_replies == 3  # Rp, Sw, Rxp
+
+
+def test_ad_episode_is_328_bits():
+    cost = ad_episode_cost()
+    assert cost.total_bits == 328
+    assert cost.message_count == 5
+    assert cost.data_replies == 1  # Mack
+    assert cost.requests == 4  # Rr, Mr, DT, MIack (as the paper counts)
+
+
+def test_reduction_is_53_percent():
+    assert migratory_traffic_reduction() == pytest.approx(0.534, abs=0.001)
+
+
+def test_custom_episode():
+    cost = episode_cost((MsgKind.RR, MsgKind.RP))
+    assert cost.total_bits == 40 + 168
+    assert cost.requests == 1
+    assert cost.data_replies == 1
+
+
+def test_breakdown_table_covers_both_protocols():
+    rows = breakdown_table()
+    protocols = {row["protocol"] for row in rows}
+    assert protocols == {"W-I", "AD"}
+    assert sum(r["bits"] for r in rows if r["protocol"] == "W-I") == 704
+    assert sum(r["bits"] for r in rows if r["protocol"] == "AD") == 328
+
+
+def test_line_size_generalization():
+    from repro.analysis.message_cost import (
+        episode_bits_for_line,
+        traffic_reduction_for_line,
+    )
+
+    assert episode_bits_for_line.__doc__  # documented public helper
+    assert traffic_reduction_for_line(16) == pytest.approx(0.534, abs=0.001)
+    values = [traffic_reduction_for_line(size) for size in (16, 32, 64, 128, 1024)]
+    assert values == sorted(values)  # grows with line size
+    assert values[-1] < 2 / 3  # asymptote: AD moves 1 line vs W-I's 3

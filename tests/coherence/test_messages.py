@@ -1,0 +1,86 @@
+"""Message vocabulary tests — including the paper's Section 5.2 arithmetic."""
+
+import pytest
+
+from repro.coherence.messages import (
+    DATA_KINDS,
+    CoherenceMessage,
+    MsgKind,
+    message_bits,
+)
+from repro.network.interface import REPLY, REQUEST
+
+
+def test_header_only_sizes():
+    for kind in (MsgKind.RR, MsgKind.RXQ, MsgKind.INV, MsgKind.IACK,
+                 MsgKind.MR, MsgKind.DT, MsgKind.MIACK, MsgKind.WACK,
+                 MsgKind.FWD_RR, MsgKind.FWD_RXQ, MsgKind.XFER, MsgKind.NAK):
+        assert message_bits(kind) == 40, kind
+
+
+def test_data_sizes():
+    for kind in DATA_KINDS:
+        assert message_bits(kind) == 168, kind
+
+
+def test_wi_migratory_episode_is_704_bits():
+    """Paper Section 5.2: under W-I, a migratory read-modify-write episode
+    costs 2 Rr + 2 data replies (Sw + Rp) + Rxq + Inv + Iack + Rxp = 704."""
+    read_part = (
+        message_bits(MsgKind.RR)
+        + message_bits(MsgKind.FWD_RR)   # the second Rr, home -> owner
+        + message_bits(MsgKind.RP)
+        + message_bits(MsgKind.SW)
+    )
+    write_part = (
+        message_bits(MsgKind.RXQ)
+        + message_bits(MsgKind.INV)
+        + message_bits(MsgKind.IACK)
+        + message_bits(MsgKind.RXP)
+    )
+    assert read_part == 416
+    assert write_part == 288
+    assert read_part + write_part == 704
+
+
+def test_ad_migratory_episode_is_328_bits():
+    """Paper Section 5.2: under AD the same episode costs
+    Rr + Mr + DT + MIack (4 requests) + Mack (1 data reply) = 328."""
+    total = (
+        message_bits(MsgKind.RR)
+        + message_bits(MsgKind.MR)
+        + message_bits(MsgKind.DT)
+        + message_bits(MsgKind.MIACK)
+        + message_bits(MsgKind.MACK)
+    )
+    assert total == 328
+
+
+def test_traffic_reduction_factor():
+    assert 1 - 328 / 704 == pytest.approx(0.534, abs=0.001)
+
+
+def test_message_construction_sets_bits():
+    msg = CoherenceMessage(src=0, dst=1, kind=MsgKind.RP, block=7)
+    assert msg.bits == 168
+    assert msg.carries_data
+    msg2 = CoherenceMessage(src=0, dst=1, kind=MsgKind.RR, block=7)
+    assert msg2.bits == 40
+    assert not msg2.carries_data
+
+
+def test_network_assignment():
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.RR).network == REQUEST
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.RP).network == REPLY
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.INV).network == REQUEST
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.IACK).network == REPLY
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.WB).network == REPLY
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.MIACK).network == REQUEST
+
+
+def test_directory_vs_cache_destination():
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.RR).dst_is_directory
+    assert CoherenceMessage(src=0, dst=1, kind=MsgKind.WB).dst_is_directory
+    assert not CoherenceMessage(src=0, dst=1, kind=MsgKind.RP).dst_is_directory
+    assert not CoherenceMessage(src=0, dst=1, kind=MsgKind.INV).dst_is_directory
+    assert not CoherenceMessage(src=0, dst=1, kind=MsgKind.MR).dst_is_directory

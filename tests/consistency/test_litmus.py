@@ -1,0 +1,197 @@
+"""Consistency-model litmus tests.
+
+Classic two-processor litmus patterns executed on the full machine, with
+timing paddings swept so many interleavings are exercised.  Values are
+block versions (0 = initial, 1 = after the write); each processor's
+observed read values are captured from its cache controller.
+
+* **Message passing (MP)**: P0 writes data then flag; P1 reads flag then
+  data.  Seeing the new flag but old data is forbidden under SC.  Our
+  weak-ordering implementation (no fences between plain writes) CAN
+  produce it — and a release fence before the flag write forbids it
+  again.
+* **Store buffering (SB)**: P0 writes x, reads y; P1 writes y, reads x.
+  Both reading 0 is forbidden under SC (it requires read-write
+  reordering, which blocking writes cannot produce).
+"""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.consistency import SEQUENTIAL_CONSISTENCY, WEAK_ORDERING
+from repro.cpu.ops import Compute, Lock, Read, Unlock, Write
+
+# data is homed far from everyone (node 10); flag close to P1 (node 1).
+DATA = 4096 * 10
+FLAG = 4096 * 1
+
+
+def run_mp(model, pad, fenced=False):
+    machine = Machine(
+        MachineConfig.dash_default(consistency=model, check_coherence=False)
+    )
+    observed = {}
+
+    def producer():
+        yield Read(DATA)   # warm both blocks shared so writes are upgrades
+        yield Read(FLAG)
+        yield Compute(50)
+        yield Write(DATA)
+        if fenced:
+            # A release fence: under WO/RC every sync op drains the
+            # outstanding writes before proceeding.
+            yield Lock(7)
+            yield Unlock(7)
+        yield Write(FLAG)
+
+    def consumer():
+        yield Read(FLAG)
+        yield Read(DATA)
+        yield Compute(pad)
+        yield Read(FLAG)
+        observed["flag"] = machine.caches[1].last_read_version
+        yield Read(DATA)
+        observed["data"] = machine.caches[1].last_read_version
+
+    programs = [producer(), consumer()] + [iter(()) for _ in range(14)]
+    machine.run(programs)
+    return observed["flag"], observed["data"]
+
+
+def sweep_mp(model, fenced=False, pads=range(0, 400, 10)):
+    return {run_mp(model, pad, fenced) for pad in pads}
+
+
+def test_mp_sc_forbids_new_flag_old_data():
+    outcomes = sweep_mp(SEQUENTIAL_CONSISTENCY)
+    assert (1, 0) not in outcomes
+    # The sweep actually exercised multiple outcomes.
+    assert len(outcomes) >= 2
+
+
+def run_mp_with_congested_data_home(model):
+    """MP with the data block's home congested (a third processor floods
+    its memory module), so the data invalidation reaches the consumer
+    late, and with the consumer polling the flag.  Under WO the producer
+    does not wait for the data write to perform before writing the flag,
+    so the consumer can observe flag=1 while its stale data copy is
+    still valid."""
+    machine = Machine(
+        MachineConfig.dash_default(consistency=model, check_coherence=False)
+    )
+    observed = {}
+
+    def producer():  # node 0
+        yield Read(DATA)
+        yield Read(FLAG)
+        yield Compute(60)
+        yield Write(DATA)
+        yield Write(FLAG)
+
+    def consumer():  # node 1
+        yield Read(DATA)   # cache a stale copy
+        yield Read(FLAG)
+        # Poll the flag until the new value is observed (the generator
+        # inspects simulated state between yields, like a real spin loop).
+        for _ in range(400):
+            yield Read(FLAG)
+            if machine.caches[1].last_read_version >= 1:
+                break
+            yield Compute(2)
+        observed["flag"] = machine.caches[1].last_read_version
+        yield Read(DATA)
+        observed["data"] = machine.caches[1].last_read_version
+
+    def flooder(n):  # nodes 2..9: keep DATA's home memory module busy
+        # Timed to coincide with the producer's data write reaching home
+        # (the producer's warm-up reads take ~170 pclocks).
+        yield Compute(160)
+        for i in range(30):
+            # Same page (same home) but distinct blocks per flooder, so
+            # the home memory module queue stays deep while the reads
+            # themselves are independent.
+            yield Read(DATA + 16 * (1 + (n - 2) * 30 + i))
+
+    programs = [producer(), consumer()] + [flooder(n) for n in range(2, 10)]
+    programs += [iter(()) for _ in range(6)]
+    machine.run(programs)
+    return observed["flag"], observed["data"]
+
+
+def test_mp_weak_ordering_without_fence_reorders():
+    """WO lets the two writes perform out of order: the forbidden-under-SC
+    outcome becomes observable (this is why WO needs fences)."""
+    flag, data = run_mp_with_congested_data_home(WEAK_ORDERING)
+    assert (flag, data) == (1, 0)
+
+
+def test_mp_sc_safe_even_with_congested_home():
+    """Same congestion, but SC blocks the producer on the data write
+    (including its invalidation ack) before the flag write even issues."""
+    flag, data = run_mp_with_congested_data_home(SEQUENTIAL_CONSISTENCY)
+    assert (flag, data) != (1, 0)
+
+
+def test_mp_weak_ordering_with_release_fence_is_safe():
+    outcomes = sweep_mp(WEAK_ORDERING, fenced=True)
+    assert (1, 0) not in outcomes
+
+
+def run_sb(model, pad0, pad1):
+    machine = Machine(
+        MachineConfig.dash_default(consistency=model, check_coherence=False)
+    )
+    x, y = 4096 * 5, 4096 * 9
+    observed = {}
+
+    def p0():
+        yield Compute(pad0)
+        yield Write(x)
+        yield Read(y)
+        observed["y"] = machine.caches[0].last_read_version
+
+    def p1():
+        yield Compute(pad1)
+        yield Write(y)
+        yield Read(x)
+        observed["x"] = machine.caches[1].last_read_version
+
+    programs = [p0(), p1()] + [iter(()) for _ in range(14)]
+    machine.run(programs)
+    return observed["x"], observed["y"]
+
+
+def test_sb_sc_forbids_both_old():
+    outcomes = {
+        run_sb(SEQUENTIAL_CONSISTENCY, pad0, pad1)
+        for pad0 in range(0, 120, 15)
+        for pad1 in range(0, 120, 15)
+    }
+    assert (0, 0) not in outcomes
+    assert outcomes  # something ran
+
+
+def test_single_location_coherence_total_order():
+    """All processors agree on the order of writes to one block: observed
+    versions never decrease per processor (enforced by the checker, but
+    exercised here explicitly across many interleavings)."""
+    machine = Machine(MachineConfig.dash_default())
+    addr = 8192
+    seen = {n: [] for n in range(4)}
+
+    def writer(n):
+        for _ in range(4):
+            yield Write(addr)
+            yield Compute(7 * n + 3)
+
+    def reader(n):
+        for _ in range(12):
+            yield Read(addr)
+            seen[n].append(machine.caches[n].last_read_version)
+            yield Compute(5 * n + 1)
+
+    programs = [writer(0), writer(1), reader(2), reader(3)]
+    programs += [iter(()) for _ in range(12)]
+    machine.run(programs)
+    for n in (2, 3):
+        assert seen[n] == sorted(seen[n]), f"reader {n} saw versions go back"

@@ -1,0 +1,264 @@
+"""Unit tests for migratory detection — every sequence from the paper.
+
+Section 3.3 gives the nomination condition and three sequences that must
+NOT be nominated; Section 3.4 gives the NoMig revert and the Rxq
+heuristic.  These tests drive the untimed reference FSM (Figure 4).
+"""
+
+import pytest
+
+from repro.core.detection import (
+    DetectorState,
+    LastWriterTracker,
+    ReferenceDetectorFSM,
+    should_nominate,
+)
+from repro.core.policy import ProtocolPolicy
+
+
+def adaptive_fsm(**kwargs):
+    return ReferenceDetectorFSM(policy=ProtocolPolicy(adaptive=True, **kwargs))
+
+
+# ----------------------------------------------------------------------
+# The nomination predicate (Cond in Figure 4)
+# ----------------------------------------------------------------------
+def test_nominates_two_copies_different_writer():
+    assert should_nominate(num_copies=2, requester=1, last_writer=0)
+
+
+def test_rejects_same_writer():
+    # Producer-consumer: Rxq_i Rr_j Rxq_i Rr_j must not be migratory.
+    assert not should_nominate(num_copies=2, requester=0, last_writer=0)
+
+
+def test_rejects_more_than_two_copies():
+    assert not should_nominate(num_copies=3, requester=1, last_writer=0)
+
+
+def test_rejects_one_copy():
+    assert not should_nominate(num_copies=1, requester=1, last_writer=0)
+
+
+def test_rejects_invalid_last_writer():
+    assert not should_nominate(num_copies=2, requester=1, last_writer=None)
+
+
+# ----------------------------------------------------------------------
+# Last-writer pointer maintenance
+# ----------------------------------------------------------------------
+def test_lw_tracks_writes():
+    lw = LastWriterTracker()
+    assert lw.value is None
+    lw.record_write(3)
+    assert lw.value == 3
+
+
+def test_lw_invalidated_when_sharers_exceed_two():
+    lw = LastWriterTracker()
+    lw.record_write(3)
+    lw.note_sharer_count(2)
+    assert lw.value == 3
+    lw.note_sharer_count(3)
+    assert lw.value is None
+
+
+# ----------------------------------------------------------------------
+# The canonical migratory sequence: Rr_i Rxq_i Rr_j Rxq_j ...
+# ----------------------------------------------------------------------
+def test_canonical_migratory_sequence_nominated():
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)       # LW=0, Dirty-Remote
+    fsm.read_miss(1)            # Shared-Remote {0, 1}
+    fsm.read_exclusive(1)       # N==2, LW=0 != 1 -> nominate
+    assert fsm.is_migratory
+    assert fsm.state is DetectorState.MIGRATORY_DIRTY
+    assert fsm.owner == 1
+    assert fsm.nominations == 1
+
+
+def test_migratory_stays_migratory_across_processors():
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    # Subsequent read-modify-write episodes: owner migrates on each read.
+    for node in (2, 3, 4):
+        fsm.read_miss(node)
+        assert fsm.owner == node
+        fsm.write_hit_by_owner()  # local Migrating -> Dirty, no request
+    assert fsm.is_migratory
+    assert fsm.nominations == 1
+
+
+def test_write_invalidate_policy_never_nominates():
+    fsm = ReferenceDetectorFSM(policy=ProtocolPolicy.write_invalidate())
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    assert not fsm.is_migratory
+    assert fsm.state is DetectorState.DIRTY_REMOTE
+
+
+# ----------------------------------------------------------------------
+# Paper's non-migratory sequences
+# ----------------------------------------------------------------------
+def test_intervening_reader_rejected():
+    """Rxq_i Rr_j Rr_k Rxq_j: three copies at the Rxq -> not migratory."""
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_miss(2)            # sharers {0, 1, 2}: LW invalidated too
+    fsm.read_exclusive(1)
+    assert not fsm.is_migratory
+
+
+def test_producer_consumer_rejected():
+    """Rxq_i Rr_j Rxq_i Rr_j: LW == requester -> not migratory."""
+    fsm = adaptive_fsm()
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(0)       # N==2 but LW==0 == requester
+    assert not fsm.is_migratory
+    fsm.read_miss(1)
+    fsm.read_exclusive(0)
+    assert not fsm.is_migratory
+
+
+def test_silent_replacement_rejected():
+    """Rr_i Rxq_i Rr_j Rr_k Repl_k Rxq_j: stale presence + invalid LW."""
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_miss(2)            # list grows to 3: LW valid bit reset
+    fsm.replacement(2)          # silent: home still counts 3 copies
+    fsm.read_exclusive(1)
+    assert not fsm.is_migratory
+    assert len(fsm.sharers) == 0  # moved to Dirty-Remote
+    assert fsm.state is DetectorState.DIRTY_REMOTE
+
+
+# ----------------------------------------------------------------------
+# Migratory-Uncached: nomination survives replacement
+# ----------------------------------------------------------------------
+def test_replacement_of_migratory_block_keeps_nomination():
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    fsm.replacement(1)
+    assert fsm.state is DetectorState.MIGRATORY_UNCACHED
+    assert fsm.is_migratory
+    fsm.read_miss(2)            # re-fetch: straight back to migratory-dirty
+    assert fsm.state is DetectorState.MIGRATORY_DIRTY
+    assert fsm.owner == 2
+
+
+# ----------------------------------------------------------------------
+# NoMig revert (Section 3.4 / 5.4)
+# ----------------------------------------------------------------------
+def test_read_only_pingpong_reverts():
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    assert fsm.is_migratory
+    # Processor 2 reads; owner 1 wrote, so ownership migrates to 2.
+    fsm.read_miss(2)
+    assert fsm.owner == 2
+    # Processor 3 reads while 2 never wrote: NoMig, revert to ordinary.
+    fsm.read_miss(3)
+    assert not fsm.is_migratory
+    assert fsm.state is DetectorState.SHARED_REMOTE
+    assert fsm.sharers == {2, 3}
+    assert fsm.reverts == 1
+    assert fsm.last_writer is None
+
+
+def test_nomig_disabled_keeps_pingponging():
+    fsm = adaptive_fsm(nomig_enabled=False)
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    fsm.read_miss(2)
+    fsm.read_miss(3)            # would revert, but the ablation disables it
+    assert fsm.is_migratory
+    assert fsm.owner == 3
+    assert fsm.reverts == 0
+
+
+def test_block_can_be_renominated_after_revert():
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    fsm.read_miss(2)
+    fsm.read_miss(3)            # NoMig revert
+    assert not fsm.is_migratory
+    # Now start writing again in migratory style.
+    fsm.read_exclusive(3)       # sharers were {2,3}, but LW invalid -> no
+    assert not fsm.is_migratory
+    fsm.read_miss(4)
+    fsm.read_exclusive(4)       # N==2 ({3,4}), LW=3 != 4 -> nominate again
+    assert fsm.is_migratory
+    assert fsm.nominations == 2
+
+
+# ----------------------------------------------------------------------
+# Rxq on a migratory block (Section 3.4, dashed arrows)
+# ----------------------------------------------------------------------
+def test_rxq_default_keeps_migratory():
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    fsm.read_exclusive(2)       # write without preceding read
+    assert fsm.is_migratory
+    assert fsm.owner == 2
+
+
+def test_rxq_heuristic_demotes():
+    fsm = adaptive_fsm(rxq_reverts_to_ordinary=True)
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    fsm.read_exclusive(2)
+    assert not fsm.is_migratory
+    assert fsm.state is DetectorState.DIRTY_REMOTE
+    assert fsm.owner == 2
+
+
+def test_rxq_heuristic_demotes_from_migratory_uncached():
+    fsm = adaptive_fsm(rxq_reverts_to_ordinary=True)
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    fsm.replacement(1)
+    assert fsm.state is DetectorState.MIGRATORY_UNCACHED
+    fsm.read_exclusive(2)
+    assert fsm.state is DetectorState.DIRTY_REMOTE
+
+
+def test_write_without_read_stays_migratory_by_default():
+    """Paper: 'As a default policy, we still consider the block migratory'."""
+    fsm = adaptive_fsm()
+    fsm.read_miss(0)
+    fsm.read_exclusive(0)
+    fsm.read_miss(1)
+    fsm.read_exclusive(1)
+    fsm.replacement(1)
+    fsm.read_exclusive(2)       # first access is a write
+    assert fsm.state is DetectorState.MIGRATORY_DIRTY
+    assert fsm.owner == 2

@@ -1,0 +1,128 @@
+"""Processor model tests: stall accounting and consistency behaviour."""
+
+import pytest
+
+from repro import Machine, MachineConfig, ProtocolPolicy
+from repro.consistency import SEQUENTIAL_CONSISTENCY, WEAK_ORDERING
+from repro.cpu.ops import Barrier, Compute, Lock, Read, Unlock, Write
+
+
+def run_single(ops, consistency=SEQUENTIAL_CONSISTENCY, **overrides):
+    machine = Machine(
+        MachineConfig.dash_default(consistency=consistency, **overrides)
+    )
+    programs = [iter(ops)] + [iter(()) for _ in range(15)]
+    result = machine.run(programs)
+    return machine, result
+
+
+def test_compute_counts_as_busy():
+    machine, result = run_single([Compute(50)])
+    b = machine.processors[0].breakdown
+    assert b.busy == 50
+    assert b.total == 50
+    assert result.execution_time == 50
+
+
+def test_cache_hit_costs_one_busy_cycle():
+    machine, _ = run_single([Read(0), Read(0), Read(0)])
+    b = machine.processors[0].breakdown
+    # 1 miss (stall) + 3 busy cycles for the three accesses.
+    assert b.busy == 3
+    assert b.read_stall > 0
+    assert b.write_stall == 0
+
+
+def test_write_stall_under_sc():
+    machine, _ = run_single([Write(4096)])  # remote home
+    b = machine.processors[0].breakdown
+    assert b.write_stall > 0
+    assert b.read_stall == 0
+
+
+def test_write_does_not_stall_under_wo():
+    ops = [Write(4096), Compute(5)]
+    _, sc = run_single(list(ops), SEQUENTIAL_CONSISTENCY)
+    machine_wo, wo = run_single(list(ops), WEAK_ORDERING)
+    b = machine_wo.processors[0].breakdown
+    assert b.write_stall == 0
+    assert wo.execution_time < sc.execution_time
+
+
+def test_wo_drains_writes_before_finish():
+    """Execution time still covers the write's completion (final fence)."""
+    machine, result = run_single([Write(4096)], WEAK_ORDERING)
+    b = machine.processors[0].breakdown
+    assert b.sync_stall > 0  # the drain wait
+    assert machine.caches[0].outstanding() == 0
+
+
+def test_wo_fence_at_lock():
+    ops = [Write(4096), Lock(0), Unlock(0)]
+    machine, _ = run_single(ops, WEAK_ORDERING)
+    b = machine.processors[0].breakdown
+    assert b.write_stall == 0
+    assert b.sync_stall > 0  # fence waited for the outstanding write
+
+
+def test_wo_read_after_write_same_block_waits():
+    ops = [Write(4096), Read(4096)]
+    machine, _ = run_single(ops, WEAK_ORDERING)
+    b = machine.processors[0].breakdown
+    assert b.read_stall > 0  # read queued behind its own write miss
+
+
+def test_breakdown_sums_to_execution_time():
+    ops = [Compute(10), Read(0), Write(0), Read(4096), Compute(5), Write(8192)]
+    machine, result = run_single(ops)
+    b = machine.processors[0].breakdown
+    assert b.total == result.execution_time
+
+
+def test_breakdown_sums_with_sync():
+    machine = Machine(MachineConfig.dash_default())
+
+    def prog(n):
+        yield Compute(10 * (n + 1))
+        yield Barrier(0)
+        yield Lock(0)
+        yield Read(0)
+        yield Write(0)
+        yield Unlock(0)
+
+    result = machine.run([prog(n) for n in range(16)])
+    for proc in machine.processors:
+        assert proc.breakdown.total == proc.finished_at
+
+
+def test_lock_wait_counts_as_sync_stall():
+    machine = Machine(MachineConfig.dash_default())
+
+    def holder():
+        yield Lock(0)
+        yield Compute(500)
+        yield Unlock(0)
+
+    def waiter():
+        yield Compute(1)  # ensure the holder wins the lock
+        yield Lock(0)
+        yield Unlock(0)
+
+    programs = [holder(), waiter()] + [iter(()) for _ in range(14)]
+    machine.run(programs)
+    assert machine.processors[1].breakdown.sync_stall > 400
+
+
+def test_restarting_processor_rejected():
+    machine = Machine(MachineConfig.dash_default())
+    machine.run([iter(()) for _ in range(16)])
+    from repro.sim.engine import SimulationError
+
+    with pytest.raises(SimulationError):
+        machine.processors[0].start(iter(()))
+
+
+def test_wrong_program_count_rejected():
+    machine = Machine(MachineConfig.dash_default())
+    with pytest.raises(ValueError):
+        machine.run([iter(())])

@@ -1,0 +1,106 @@
+"""Unit tests for the ideal synchronization manager."""
+
+import pytest
+
+from repro.cpu.sync import IdealSync
+from repro.sim.engine import SimulationError, Simulator
+
+
+def make(num=4):
+    sim = Simulator()
+    return sim, IdealSync(sim, num)
+
+
+def test_uncontended_lock_granted_after_one_cycle():
+    sim, sync = make()
+    granted = []
+    sync.acquire(0, 1, lambda: granted.append(sim.now))
+    sim.run()
+    assert granted == [1]
+    assert sync.holder_of(1) == 0
+
+
+def test_contended_lock_fifo():
+    sim, sync = make()
+    order = []
+    sync.acquire(0, 1, lambda: order.append((0, sim.now)))
+    sync.acquire(1, 1, lambda: order.append((1, sim.now)))
+    sync.acquire(2, 1, lambda: order.append((2, sim.now)))
+    sim.run()
+    assert order == [(0, 1)]
+    sync.release(0, 1)
+    sim.run()
+    assert order[-1][0] == 1
+    sync.release(1, 1)
+    sim.run()
+    assert [o[0] for o in order] == [0, 1, 2]
+    assert sync.lock_contended == 2
+
+
+def test_release_frees_lock_when_queue_empty():
+    sim, sync = make()
+    sync.acquire(0, 1, lambda: None)
+    sim.run()
+    sync.release(0, 1)
+    assert sync.holder_of(1) is None
+    granted = []
+    sync.acquire(2, 1, lambda: granted.append(True))
+    sim.run()
+    assert granted == [True]
+
+
+def test_release_by_non_holder_raises():
+    sim, sync = make()
+    sync.acquire(0, 1, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sync.release(3, 1)
+
+
+def test_distinct_locks_independent():
+    sim, sync = make()
+    granted = []
+    sync.acquire(0, 1, lambda: granted.append("a"))
+    sync.acquire(1, 2, lambda: granted.append("b"))
+    sim.run()
+    assert sorted(granted) == ["a", "b"]
+
+
+def test_barrier_releases_all_when_full():
+    sim, sync = make(num=3)
+    released = []
+    sync.barrier(0, 0, lambda: released.append(0))
+    sync.barrier(1, 0, lambda: released.append(1))
+    sim.run()
+    assert released == []
+    assert sync.waiting_at_barrier(0) == 2
+    sync.barrier(2, 0, lambda: released.append(2))
+    sim.run()
+    assert sorted(released) == [0, 1, 2]
+    assert sync.barriers_completed == 1
+
+
+def test_barrier_ids_are_independent():
+    sim, sync = make(num=2)
+    released = []
+    sync.barrier(0, 0, lambda: released.append("a0"))
+    sync.barrier(0, 1, lambda: released.append("a1"))
+    sync.barrier(1, 1, lambda: released.append("b1"))
+    sim.run()
+    assert sorted(released) == ["a1", "b1"]
+    sync.barrier(1, 0, lambda: released.append("b0"))
+    sim.run()
+    assert sorted(released) == ["a0", "a1", "b0", "b1"]
+
+
+def test_barrier_reusable_after_completion():
+    sim, sync = make(num=2)
+    count = []
+    sync.barrier(0, 7, lambda: count.append(1))
+    sync.barrier(1, 7, lambda: count.append(1))
+    sim.run()
+    sync.barrier(0, 7, lambda: count.append(1))
+    sync.barrier(1, 7, lambda: count.append(1))
+    sim.run()
+    assert len(count) == 4
+    assert sync.barriers_completed == 2

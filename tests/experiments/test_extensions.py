@@ -1,0 +1,67 @@
+"""Tests for the extension experiment modules (prefetch, scaling, renders)."""
+
+import pytest
+
+from repro.experiments.prefetch import render_prefetch, run_prefetch_comparison
+from repro.experiments.scaling import render_scaling, run_scaling
+
+
+@pytest.fixture(scope="module")
+def prefetch_comparison():
+    return run_prefetch_comparison(iterations=15, record_lines=1)
+
+
+def test_prefetch_both_schemes_beat_baseline(prefetch_comparison):
+    assert prefetch_comparison.prefetch_speedup > 1.2
+    assert prefetch_comparison.adaptive_speedup > 1.2
+
+
+def test_prefetch_eliminates_write_stall(prefetch_comparison):
+    baseline_ws = prefetch_comparison.baseline.aggregate_breakdown.write_stall
+    prefetch_ws = prefetch_comparison.prefetch.aggregate_breakdown.write_stall
+    assert prefetch_ws < baseline_ws * 0.2
+
+
+def test_prefetch_counters(prefetch_comparison):
+    assert prefetch_comparison.prefetch.counter("prefetches_issued") > 0
+    assert prefetch_comparison.baseline.counter("prefetches_issued") == 0
+
+
+def test_prefetch_render(prefetch_comparison):
+    text = render_prefetch(prefetch_comparison)
+    assert "rx-prefetch" in text
+    assert "AD" in text
+
+
+@pytest.fixture(scope="module")
+def scaling_points():
+    return run_scaling(meshes=((2, 2), (4, 4)), iterations=10)
+
+
+def test_scaling_etr_positive_everywhere(scaling_points):
+    for point in scaling_points:
+        assert point.etr > 1.2
+
+
+def test_scaling_migratory_fraction_stable(scaling_points):
+    fractions = [p.single_invalidation_fraction for p in scaling_points]
+    assert all(f > 0.8 for f in fractions)
+
+
+def test_scaling_render(scaling_points):
+    text = render_scaling(scaling_points)
+    assert "2x2" in text
+    assert "4x4" in text
+
+
+def test_prefetch_dropped_when_line_already_owned():
+    """A prefetch to an already-writable or in-flight line is a no-op."""
+    from repro import Machine, MachineConfig
+    from repro.cpu.ops import PrefetchEx, Read, Write
+
+    machine = Machine(MachineConfig.dash_default())
+    programs = [iter([Write(0), PrefetchEx(0), Read(0)])]
+    programs += [iter(()) for _ in range(15)]
+    result = machine.run(programs)
+    assert result.counter("prefetches_issued") == 0
+    assert result.counter("read_hits") == 1

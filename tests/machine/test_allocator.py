@@ -1,0 +1,65 @@
+"""Tests for page placement and the shared allocator."""
+
+import pytest
+
+from repro.machine.allocator import PagePlacement, SharedAllocator
+
+
+def test_round_robin_page_homes():
+    p = PagePlacement(num_nodes=16, page_size=4096, line_size=16)
+    assert p.home_of_addr(0) == 0
+    assert p.home_of_addr(4095) == 0
+    assert p.home_of_addr(4096) == 1
+    assert p.home_of_addr(4096 * 15) == 15
+    assert p.home_of_addr(4096 * 16) == 0  # wraps
+
+
+def test_block_and_addr_homes_agree():
+    p = PagePlacement(num_nodes=16, page_size=4096, line_size=16)
+    for addr in (0, 16, 4096, 8192 + 160, 4096 * 33 + 48):
+        assert p.home_of_addr(addr) == p.home_of_block(addr // 16)
+
+
+def test_bad_node_count_rejected():
+    with pytest.raises(ValueError):
+        PagePlacement(0)
+
+
+def test_allocator_line_aligns():
+    a = SharedAllocator(line_size=16)
+    first = a.alloc(10, "a")
+    second = a.alloc(3, "b")
+    assert first % 16 == 0
+    assert second % 16 == 0
+    assert second >= first + 16  # no false sharing between allocations
+
+
+def test_allocator_packed_mode():
+    a = SharedAllocator(line_size=16)
+    first = a.alloc(10, "a", packed=True)
+    second = a.alloc(3, "b", packed=True)
+    assert second == first + 10
+
+
+def test_allocator_rejects_nonpositive():
+    a = SharedAllocator()
+    with pytest.raises(ValueError):
+        a.alloc(0)
+
+
+def test_shared_array_addressing():
+    a = SharedAllocator(line_size=16)
+    arr = a.alloc_array(10, element_bytes=20, name="arr")
+    assert arr.stride == 32  # 20 bytes padded to two lines
+    assert arr.addr(0) == arr.base
+    assert arr.addr(1) == arr.base + 32
+    assert arr.addr(3, offset=16) == arr.base + 3 * 32 + 16
+    with pytest.raises(IndexError):
+        arr.addr(10)
+
+
+def test_array_elements_never_share_lines():
+    a = SharedAllocator(line_size=16)
+    arr = a.alloc_array(100, element_bytes=4)
+    lines = {arr.addr(i) // 16 for i in range(100)}
+    assert len(lines) == 100

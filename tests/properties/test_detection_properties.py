@@ -1,0 +1,116 @@
+"""Property-based tests of the detection FSM (hypothesis).
+
+The reference FSM of Figure 4 must uphold the paper's conditions on
+*every* request stream, not just the examples of Section 3.3.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.detection import (
+    DetectorState,
+    ReferenceDetectorFSM,
+    should_nominate,
+)
+from repro.core.policy import ProtocolPolicy
+
+NODES = st.integers(min_value=0, max_value=3)
+
+REQUESTS = st.lists(
+    st.tuples(st.sampled_from(["rr", "rxq", "repl"]), NODES),
+    min_size=0,
+    max_size=40,
+)
+
+
+def apply_stream(fsm, stream):
+    for kind, node in stream:
+        if kind == "rr":
+            fsm.read_miss(node)
+        elif kind == "rxq":
+            fsm.read_exclusive(node)
+        else:
+            fsm.replacement(node)
+
+
+@given(REQUESTS)
+@settings(max_examples=300, deadline=None)
+def test_fsm_never_crashes_and_stays_consistent(stream):
+    fsm = ReferenceDetectorFSM(policy=ProtocolPolicy.adaptive_default())
+    apply_stream(fsm, stream)
+    # Structural invariants of the home state.
+    if fsm.state in (DetectorState.DIRTY_REMOTE, DetectorState.MIGRATORY_DIRTY):
+        assert fsm.owner is not None
+        assert not fsm.sharers
+    if fsm.state in (DetectorState.UNCACHED, DetectorState.MIGRATORY_UNCACHED):
+        assert fsm.owner is None
+    if fsm.state is DetectorState.SHARED_REMOTE:
+        assert fsm.sharers
+
+
+@given(REQUESTS)
+@settings(max_examples=300, deadline=None)
+def test_wi_policy_never_enters_migratory_states(stream):
+    fsm = ReferenceDetectorFSM(policy=ProtocolPolicy.write_invalidate())
+    apply_stream(fsm, stream)
+    assert not fsm.is_migratory
+    assert fsm.nominations == 0
+
+
+@given(REQUESTS)
+@settings(max_examples=300, deadline=None)
+def test_nomination_only_under_paper_condition(stream):
+    """Every nomination coincides with N==2 and a valid, different LW."""
+    fsm = ReferenceDetectorFSM(policy=ProtocolPolicy.adaptive_default())
+    for kind, node in stream:
+        if kind == "rxq" and fsm.state is DetectorState.SHARED_REMOTE:
+            expected = should_nominate(len(fsm.sharers), node, fsm.last_writer)
+            before = fsm.nominations
+            fsm.read_exclusive(node)
+            nominated = fsm.nominations > before
+            assert nominated == expected
+        elif kind == "rr":
+            fsm.read_miss(node)
+        elif kind == "rxq":
+            fsm.read_exclusive(node)
+        else:
+            fsm.replacement(node)
+
+
+@given(REQUESTS)
+@settings(max_examples=300, deadline=None)
+def test_lw_invalid_whenever_sharers_exceed_two(stream):
+    fsm = ReferenceDetectorFSM(policy=ProtocolPolicy.adaptive_default())
+    for kind, node in stream:
+        apply_stream(fsm, [(kind, node)])
+        if len(fsm.sharers) > 2:
+            assert fsm.last_writer is None
+
+
+@given(st.lists(NODES, min_size=2, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_pure_migratory_stream_nominates_on_second_writer(writers):
+    """Rr_i Rxq_i Rr_j Rxq_j ... nominates exactly at the first j != i."""
+    fsm = ReferenceDetectorFSM(policy=ProtocolPolicy.adaptive_default())
+    first = writers[0]
+    seen_different = False
+    for node in writers:
+        fsm.read_miss(node)
+        if fsm.is_migratory:
+            fsm.write_hit_by_owner()
+        else:
+            fsm.read_exclusive(node)
+        if node != first and not seen_different:
+            seen_different = True
+            assert fsm.is_migratory
+    assert fsm.nominations == (1 if seen_different else 0)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=20))
+@settings(max_examples=200, deadline=None)
+def test_producer_consumer_never_nominated(reader_flags):
+    """Writer 0 alternating with arbitrary readers is never migratory."""
+    fsm = ReferenceDetectorFSM(policy=ProtocolPolicy.adaptive_default())
+    for flag in reader_flags:
+        fsm.read_exclusive(0)
+        fsm.read_miss(1 if flag else 2)
+    assert not fsm.is_migratory

@@ -1,0 +1,108 @@
+"""Property-based tests of the simulation substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.allocator import PagePlacement, SharedAllocator
+from repro.memory.cache import CacheArray, CacheState
+from repro.network.mesh import Mesh
+from repro.sim.engine import Simulator
+from repro.sim.resource import Resource
+
+
+@given(st.lists(st.tuples(st.integers(0, 1000), st.integers(0, 50)), max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_resource_reservations_never_overlap(requests):
+    r = Resource("r")
+    intervals = []
+    for earliest, duration in requests:
+        start = r.reserve(earliest, duration)
+        assert start >= earliest
+        intervals.append((start, start + duration))
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1  # FIFO in reservation order
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.integers(0, 15),
+    st.integers(0, 15),
+    st.integers(1, 300),
+)
+@settings(max_examples=300, deadline=None)
+def test_mesh_route_properties(src, dst, bits):
+    sim = Simulator()
+    mesh = Mesh(sim, 4, 4)
+    path = mesh.route(src, dst)
+    # Route length equals Manhattan distance, links are adjacent, and the
+    # path actually connects src to dst.
+    assert len(path) == mesh.hop_count(src, dst)
+    node = src
+    for a, b in path:
+        assert a == node
+        assert b in mesh._neighbors(a)
+        node = b
+    assert node == dst
+    # Unloaded latency is monotone in message size.
+    if src != dst:
+        assert mesh.unloaded_latency(src, dst, bits) <= mesh.unloaded_latency(
+            src, dst, bits + 16
+        )
+
+
+@given(st.integers(1, 64), st.integers(0, 10_000))
+@settings(max_examples=300, deadline=None)
+def test_page_placement_within_range_and_stable(num_nodes, addr):
+    placement = PagePlacement(num_nodes)
+    home = placement.home_of_addr(addr)
+    assert 0 <= home < num_nodes
+    assert placement.home_of_addr(addr) == home
+    # Every address on the same page has the same home.
+    page_base = (addr // 4096) * 4096
+    assert placement.home_of_addr(page_base) == home
+
+
+@given(st.lists(st.integers(1, 200), min_size=1, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_allocator_spans_are_disjoint_and_aligned(sizes):
+    allocator = SharedAllocator(line_size=16)
+    spans = []
+    for index, size in enumerate(sizes):
+        base = allocator.alloc(size, f"obj{index}")
+        assert base % 16 == 0
+        spans.append((base, base + size))
+    spans.sort()
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert s2 >= e1
+
+
+@given(
+    st.integers(0, 9),
+    st.lists(st.integers(0, 511), min_size=1, max_size=200),
+)
+@settings(max_examples=200, deadline=None)
+def test_cache_array_lookup_agrees_with_reference(assoc_exp, blocks):
+    """Install/lookup behaves like a dict restricted to frame capacity."""
+    cache = CacheArray(512, 16, 1)  # 32 frames, direct mapped
+    resident = {}
+    for block in blocks:
+        line = cache.lookup(block)
+        if line is not None:
+            assert resident.get(cache.set_index(block)) == block
+            continue
+        victim = cache.victim_for(block)
+        if victim.valid:
+            victim.invalidate()
+        cache.install(block, CacheState.SHARED, 0)
+        resident[cache.set_index(block)] = block
+    assert cache.count_valid() == len(resident)

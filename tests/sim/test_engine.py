@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10, lambda: order.append("b"))
+    sim.schedule(5, lambda: order.append("a"))
+    sim.schedule(20, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 20
+
+
+def test_equal_timestamps_fire_fifo():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(7, lambda label=label: order.append(label))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_nested_scheduling_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(sim.now)
+        sim.schedule(3, second)
+
+    def second():
+        seen.append(sim.now)
+
+    sim.schedule(2, first)
+    sim.run()
+    assert seen == [2, 5]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule_at(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_early():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, lambda: fired.append(5))
+    sim.schedule(15, lambda: fired.append(15))
+    sim.run(until=10)
+    assert fired == [5]
+    assert sim.pending() == 1
+    sim.run()
+    assert fired == [5, 15]
+
+
+def test_run_until_advances_clock_when_queue_drains():
+    sim = Simulator()
+    sim.schedule(3, lambda: None)
+    sim.run(until=100)
+    assert sim.now == 100
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1, lambda: fired.append(1))
+    sim.schedule(2, lambda: fired.append(2))
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+def test_max_events_guard_trips_on_livelock():
+    sim = Simulator(max_events=100)
+
+    def respawn():
+        sim.schedule(1, respawn)
+
+    sim.schedule(1, respawn)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run()
+
+
+def test_zero_delay_event_fires_at_current_time():
+    sim = Simulator()
+    times = []
+
+    def outer():
+        sim.schedule(0, lambda: times.append(sim.now))
+
+    sim.schedule(4, outer)
+    sim.run()
+    assert times == [4]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(7):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 7

@@ -1,0 +1,102 @@
+"""Tests of per-block sharing-pattern classification."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.cpu.ops import Barrier, Lock, Read, Unlock, Write
+from repro.stats.block_profile import (
+    ALL_CLASSES,
+    MIGRATORY,
+    PRIVATE,
+    PRODUCER_CONSUMER,
+    READ_ONLY,
+    READ_WRITE_SHARED,
+    BlockProfiler,
+    BlockStats,
+    classify_block,
+)
+
+
+def stats_from(events):
+    stats = BlockStats()
+    for kind, node, invals in events:
+        if kind == "r":
+            stats.record_read(node)
+        else:
+            stats.record_write(node, invals)
+    return stats
+
+
+def test_private_block():
+    s = stats_from([("r", 0, 0), ("w", 0, 0), ("w", 0, 0)])
+    assert classify_block(s) == PRIVATE
+
+
+def test_read_only_block():
+    s = stats_from([("w", 0, 0), ("r", 1, 0), ("r", 2, 0), ("r", 3, 0)])
+    assert classify_block(s) == READ_ONLY
+
+
+def test_producer_consumer_block():
+    s = stats_from(
+        [("w", 0, 0), ("r", 1, 0), ("w", 0, 1), ("r", 1, 0), ("w", 0, 1)]
+    )
+    assert classify_block(s) == PRODUCER_CONSUMER
+
+
+def test_migratory_block():
+    s = stats_from(
+        [("r", 0, 0), ("w", 0, 0), ("r", 1, 0), ("w", 1, 1),
+         ("r", 2, 0), ("w", 2, 1), ("r", 3, 0), ("w", 3, 1)]
+    )
+    assert classify_block(s) == MIGRATORY
+
+
+def test_wide_shared_block():
+    s = stats_from(
+        [("r", 0, 0), ("r", 1, 0), ("r", 2, 0), ("w", 3, 3),
+         ("r", 0, 0), ("r", 1, 0), ("w", 2, 2)]
+    )
+    assert classify_block(s) == READ_WRITE_SHARED
+
+
+def test_profiler_census_totals():
+    profiler = BlockProfiler()
+    profiler.on_read(1, 0)
+    profiler.on_write(1, 0, 0)
+    profiler.on_write(2, 0, 0)
+    profiler.on_read(2, 1)
+    profiler.on_write(2, 0, 1)
+    census = profiler.census()
+    assert sum(census.values()) == 2
+    assert set(census) == set(ALL_CLASSES)
+    text = profiler.render()
+    assert "migratory" in text
+
+
+def test_machine_integration_classifies_patterns():
+    machine = Machine(MachineConfig.dash_default(profile_blocks=True))
+    counter = 8192        # lock-protected counter: migratory
+    flag = 12288          # producer-consumer flag
+
+    def worker(n):
+        for round_ in range(4):
+            yield Lock(0)
+            yield Read(counter)
+            yield Write(counter)
+            yield Unlock(0)
+            if n == 0:
+                yield Write(flag)
+            yield Barrier(round_)
+            if n != 0:
+                yield Read(flag)
+
+    machine.run([worker(n) for n in range(16)])
+    classes = machine.block_profiler.classify()
+    assert classes[counter // 16] == MIGRATORY
+    assert classes[flag // 16] == PRODUCER_CONSUMER
+
+
+def test_profiling_disabled_by_default():
+    machine = Machine(MachineConfig.dash_default())
+    assert machine.block_profiler is None

@@ -1,0 +1,47 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.stats.report import format_table, percentage_bar, stacked_bar
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ("name", "value"),
+        [("alpha", 1), ("a-much-longer-name", 123456)],
+    )
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    # Columns align: 'value' data starts at the same offset everywhere.
+    offset = lines[0].index("value")
+    assert lines[2][offset:].strip() == "1"
+    assert lines[3][offset:].strip() == "123456"
+
+
+def test_format_table_empty_rows():
+    text = format_table(("a", "b"), [])
+    assert text.splitlines()[0].startswith("a")
+
+
+def test_percentage_bar_bounds():
+    assert percentage_bar(0.0, width=10) == "." * 10
+    assert percentage_bar(1.0, width=10) == "#" * 10
+    assert percentage_bar(0.5, width=10) == "#" * 5 + "." * 5
+    # Clipping.
+    assert percentage_bar(1.7, width=4) == "####"
+    assert percentage_bar(-0.3, width=4) == "...."
+
+
+def test_stacked_bar_composition():
+    bar = stacked_bar({"busy": 0.25, "sync": 0.25, "read": 0.25, "write": 0.25},
+                      width=8)
+    assert bar == "bbssrrww"
+
+
+def test_stacked_bar_shorter_when_time_saved():
+    # An AD bar at 60% of the W-I baseline renders shorter.
+    bar = stacked_bar({"busy": 0.3, "sync": 0.1, "read": 0.1, "write": 0.1},
+                      width=10)
+    assert len(bar) == 6

@@ -1,0 +1,75 @@
+"""Unit tests of the invalidation-pattern profiler."""
+
+from repro.stats.sharing_profile import (
+    InvalidationProfile,
+    invalidation_profile,
+    render_profile,
+)
+
+
+def make_result(histogram):
+    """A minimal RunResult stand-in exposing .counter()."""
+
+    class FakeResult:
+        def counter(self, name):
+            if name.startswith("inval_dist_"):
+                return histogram.get(int(name.rsplit("_", 1)[1]), 0)
+            return 0
+
+    return FakeResult()
+
+
+def test_profile_extraction():
+    profile = invalidation_profile(make_result({0: 10, 1: 80, 2: 10}))
+    assert profile.total_requests == 100
+    assert profile.single_invalidation_fraction == 0.8
+    assert profile.zero_invalidation_fraction == 0.1
+    assert profile.multiple_invalidation_fraction == 0.1
+
+
+def test_empty_profile():
+    profile = invalidation_profile(make_result({}))
+    assert profile.total_requests == 0
+    assert profile.single_invalidation_fraction == 0.0
+    assert not profile.looks_migratory
+
+
+def test_migratory_classification():
+    assert InvalidationProfile({1: 90, 0: 10}).looks_migratory
+    assert not InvalidationProfile({0: 90, 1: 10}).looks_migratory
+
+
+def test_render_contains_fractions():
+    text = render_profile("demo", InvalidationProfile({1: 3, 4: 1}))
+    assert "demo" in text
+    assert "4+" in text
+    assert "75.0%" in text
+
+
+def test_profile_from_real_run():
+    from repro import Machine, MachineConfig
+    from repro.cpu.ops import Barrier, Read, Write
+
+    machine = Machine(MachineConfig.dash_default())
+
+    def writer():
+        yield Read(0)
+        yield Write(0)
+        yield Barrier(0)
+        yield Barrier(1)
+
+    def second():
+        yield Barrier(0)
+        yield Read(0)
+        yield Write(0)  # displaces exactly one copy
+        yield Barrier(1)
+
+    def others():
+        yield Barrier(0)
+        yield Barrier(1)
+
+    programs = [writer(), second()] + [others() for _ in range(14)]
+    result = machine.run(programs)
+    profile = invalidation_profile(result)
+    assert profile.histogram.get(0, 0) == 1  # first write, uncached
+    assert profile.histogram.get(1, 0) == 1  # second write, single inval

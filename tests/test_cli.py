@@ -1,0 +1,74 @@
+"""CLI tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("mp3d", "cholesky", "water", "lu"):
+        assert name in out
+
+
+def test_run_command_tiny(capsys):
+    code = main(["run", "migratory-counters", "--protocol", "AD"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "execution time" in out
+    assert "nominations" in out
+
+
+def test_compare_command_tiny(capsys):
+    code = main(["compare", "producer-consumer"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "execution-time ratio" in out
+    assert "read-exclusive reduction" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "not-a-workload"])
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "lu", "--protocol", "MOESI"])
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for sub in ("run", "compare", "table1", "report", "list"):
+        assert sub in text
+
+
+def test_verify_command(capsys):
+    assert main(["verify", "--protocol", "AD", "--caches", "2", "--ops", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants held" in out
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "migratory-counters", "--no-check"]) == 0
+    out = capsys.readouterr().out
+    assert "migratory" in out
+    assert "invalidations" in out
+
+
+def test_bus_command(capsys):
+    assert main(["bus", "migratory-counters", "--no-check"]) == 0
+    out = capsys.readouterr().out
+    assert "bus transactions" in out
+    assert "nominations" in out
+
+
+def test_bus_update_protocol(capsys):
+    assert main(
+        ["bus", "migratory-counters", "--base", "update", "--protocol", "W-I",
+         "--no-check"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "updates_broadcast" in out

@@ -1,0 +1,44 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "read-exclusive requests" in out
+    assert "faster" in out
+
+
+def test_detection_trace_example():
+    out = run_example("detection_trace.py")
+    assert "Migratory-Dirty" in out
+    assert "producer-consumer" in out.lower()
+
+
+def test_bus_system_example():
+    out = run_example("bus_system.py")
+    assert "bus transactions" in out
+    assert "occupancy" in out
+
+
+def test_critical_sections_example():
+    out = run_example("critical_sections.py")
+    assert "ledger check" in out
+    assert "migratory" in out
