@@ -1,0 +1,30 @@
+"""Benchmark of the parallel experiment runner itself.
+
+Runs the Figure-5 suite (4 workloads x 2 protocols) serially and through
+the process pool, records both wall times and the speedup in
+``benchmark.extra_info``, and asserts the parallel results are identical
+to the serial ones — the bench-harness contract `repro-sim bench`
+depends on.  On a single-core host the speedup honestly records ~1x.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.bench import run_bench_suite
+
+
+def test_parallel_runner_speedup(benchmark, bench_preset):
+    doc = run_once(benchmark, run_bench_suite, preset=bench_preset)
+
+    assert doc["parallel_matches_serial"], "parallel results diverged from serial"
+    assert doc["speedup"] is not None
+
+    benchmark.extra_info["workers"] = doc["workers"]
+    benchmark.extra_info["serial_wall_time_s"] = doc["serial_wall_time_s"]
+    benchmark.extra_info["parallel_wall_time_s"] = doc["parallel_wall_time_s"]
+    benchmark.extra_info["speedup"] = doc["speedup"]
+    benchmark.extra_info["events_per_sec_serial"] = doc["events_per_sec_serial"]
+    print()
+    print(
+        f"figure-5 suite: serial {doc['serial_wall_time_s']:.2f} s, "
+        f"parallel {doc['parallel_wall_time_s']:.2f} s "
+        f"({doc['workers']} workers) -> speedup {doc['speedup']}x"
+    )

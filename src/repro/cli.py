@@ -3,9 +3,10 @@
 Examples::
 
     repro-sim run mp3d --protocol AD --consistency SC
-    repro-sim compare water --preset tiny
+    repro-sim compare water --preset tiny --workers 2
     repro-sim table1
-    repro-sim report --preset default
+    repro-sim report --preset default --workers 4
+    repro-sim bench --quick
     repro-sim list
 """
 
@@ -77,6 +78,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         preset=args.preset,
         consistency=model_by_name(args.consistency),
         check_coherence=not args.no_check,
+        workers=args.workers,
     )
     rows = [
         ("execution time (pclocks)", comparison.wi.execution_time,
@@ -137,8 +139,36 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    print(full_report(preset=args.preset, check_coherence=not args.no_check))
+    print(
+        full_report(
+            preset=args.preset,
+            check_coherence=not args.no_check,
+            workers=args.workers,
+        )
+    )
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf bench suite and write a BENCH_<date>.json snapshot."""
+    from repro.experiments.bench import (
+        diff_bench,
+        load_bench,
+        render_bench,
+        run_bench_suite,
+        write_bench,
+    )
+
+    doc = run_bench_suite(
+        preset="tiny" if args.quick else args.preset, workers=args.workers
+    )
+    print(render_bench(doc))
+    target = write_bench(doc, path=args.output)
+    print(f"\nwrote {target}")
+    if args.against:
+        print()
+        print(diff_bench(load_bench(args.against), doc))
+    return 0 if doc["parallel_matches_serial"] else 1
 
 
 def _cmd_bus(args: argparse.Namespace) -> int:
@@ -201,6 +231,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--consistency", default="SC")
     cmp_p.add_argument("--preset", default="default")
     cmp_p.add_argument("--no-check", action="store_true")
+    cmp_p.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the two runs (default 1)")
     cmp_p.set_defaults(func=_cmd_compare)
 
     t1_p = sub.add_parser("table1", help="measure the Table 1 latencies")
@@ -237,7 +269,24 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p = sub.add_parser("report", help="reproduce every table and figure")
     rep_p.add_argument("--preset", default="default")
     rep_p.add_argument("--no-check", action="store_true")
+    rep_p.add_argument("--workers", type=int, default=1,
+                       help="worker processes per experiment sweep (default 1)")
     rep_p.set_defaults(func=_cmd_report)
+
+    bench_p = sub.add_parser(
+        "bench", help="run the perf suite and write a BENCH_<date>.json snapshot"
+    )
+    bench_p.add_argument("--preset", default="default")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="tiny preset (CI smoke; ~seconds)")
+    bench_p.add_argument("--workers", type=int, default=None,
+                         help="worker processes for the parallel pass "
+                              "(default: all cores, minimum 2)")
+    bench_p.add_argument("--output", default=None,
+                         help="snapshot path (default BENCH_<date>.json)")
+    bench_p.add_argument("--against", default=None, metavar="BENCH_JSON",
+                         help="print a regression diff against an older snapshot")
+    bench_p.set_defaults(func=_cmd_bench)
 
     list_p = sub.add_parser("list", help="list available workloads")
     list_p.set_defaults(func=_cmd_list)

@@ -11,8 +11,24 @@ from repro.experiments.prefetch import (
     render_prefetch,
     run_prefetch_comparison,
 )
+from repro.experiments.bench import (
+    BENCH_SCHEMA,
+    diff_bench,
+    render_bench,
+    run_bench_suite,
+    write_bench,
+)
+from repro.experiments.parallel import (
+    RunError,
+    RunOutcome,
+    RunSpec,
+    default_workers,
+    run_many,
+    run_pairs,
+)
 from repro.experiments.runner import (
     ProtocolComparison,
+    compare_many,
     compare_protocols,
     run_workload,
 )
@@ -27,17 +43,29 @@ from repro.experiments.table3 import PAPER_TABLE3, render_table3, run_table3
 from repro.experiments.table4 import PAPER_TABLE4, render_table4, run_table4
 
 __all__ = [
+    "BENCH_SCHEMA",
     "Figure5Row",
     "Figure6Cell",
     "PAPER_ETR",
+    "RunError",
+    "RunOutcome",
+    "RunSpec",
     "PAPER_TABLE1",
     "PAPER_TABLE3",
     "PAPER_TABLE4",
     "PrefetchComparison",
     "ProtocolComparison",
     "cell",
+    "compare_many",
     "compare_protocols",
+    "default_workers",
+    "diff_bench",
     "measure_table1",
+    "render_bench",
+    "run_bench_suite",
+    "run_many",
+    "run_pairs",
+    "write_bench",
     "render_figure5",
     "render_figure6",
     "render_section54",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.policy import ProtocolPolicy
-from repro.experiments.runner import run_workload
+from repro.experiments.parallel import RunSpec, run_pairs
 from repro.machine.config import MachineConfig
 from repro.machine.system import RunResult
 from repro.workloads import PAPER_BENCHMARKS
@@ -45,21 +45,25 @@ def run_rxq_heuristic_ablation(
     preset: str = "default",
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[HeuristicRow]:
-    rows = []
-    for name in PAPER_BENCHMARKS:
-        default = run_workload(
-            name, ProtocolPolicy.adaptive_default(),
+    specs = [
+        RunSpec.make(
+            name, policy,
             preset=preset, config=config, check_coherence=check_coherence,
+            tag=f"{name}/{policy.name}",
         )
-        heuristic = run_workload(
-            name, ProtocolPolicy(adaptive=True, rxq_reverts_to_ordinary=True),
-            preset=preset, config=config, check_coherence=check_coherence,
+        for name in PAPER_BENCHMARKS
+        for policy in (
+            ProtocolPolicy.adaptive_default(),
+            ProtocolPolicy(adaptive=True, rxq_reverts_to_ordinary=True),
         )
-        rows.append(
-            HeuristicRow(workload=name, default=default, with_heuristic=heuristic)
-        )
-    return rows
+    ]
+    pairs = run_pairs(specs, workers=workers)
+    return [
+        HeuristicRow(workload=name, default=default, with_heuristic=heuristic)
+        for name, (default, heuristic) in zip(PAPER_BENCHMARKS, pairs)
+    ]
 
 
 def render_rxq_heuristic(rows: List[HeuristicRow]) -> str:
@@ -89,25 +93,29 @@ def run_bandwidth_sweep(
     link_widths: tuple = (4, 8, 16, 32),
     preset: str = "default",
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[BandwidthPoint]:
     """AD's advantage grows as the network narrows (Section 6)."""
-    points = []
-    for width in link_widths:
-        cfg = MachineConfig.dash_default(link_bits=width)
-        wi = run_workload(
-            workload, ProtocolPolicy.write_invalidate(),
-            preset=preset, config=cfg, check_coherence=check_coherence,
+    specs = [
+        RunSpec.make(
+            workload, policy,
+            preset=preset, config=MachineConfig.dash_default(link_bits=width),
+            check_coherence=check_coherence,
+            tag=f"{workload}/{width}b/{policy.name}",
         )
-        ad = run_workload(
-            workload, ProtocolPolicy.adaptive_default(),
-            preset=preset, config=cfg, check_coherence=check_coherence,
+        for width in link_widths
+        for policy in (
+            ProtocolPolicy.write_invalidate(),
+            ProtocolPolicy.adaptive_default(),
         )
-        points.append(
-            BandwidthPoint(
-                link_bits=width, wi_time=wi.execution_time, ad_time=ad.execution_time
-            )
+    ]
+    pairs = run_pairs(specs, workers=workers)
+    return [
+        BandwidthPoint(
+            link_bits=width, wi_time=wi.execution_time, ad_time=ad.execution_time
         )
-    return points
+        for width, (wi, ad) in zip(link_widths, pairs)
+    ]
 
 
 def render_bandwidth_sweep(points: List[BandwidthPoint], workload: str = "mp3d") -> str:

@@ -1,0 +1,209 @@
+"""Perf-regression bench harness behind ``repro-sim bench``.
+
+Runs a fixed suite (the Figure-5 sweep: every paper benchmark under both
+W-I and AD) twice — once serially, once through the process pool — and
+writes a ``BENCH_<date>.json`` snapshot with per-run wall times,
+simulator event throughput, protocol counters, and the measured
+serial-vs-parallel speedup.  Future changes compare their snapshot
+against a committed one with :func:`diff_bench` to catch simulator
+performance regressions.
+
+Schema (``repro-bench/1``)::
+
+    {
+      "schema": "repro-bench/1",
+      "created": "<UTC ISO timestamp>",
+      "suite": "figure5", "preset": "default", "workers": 4,
+      "host": {"python": ..., "platform": ..., "cpu_count": ...},
+      "serial_wall_time_s": ..., "parallel_wall_time_s": ...,
+      "speedup": ...,            # serial / parallel wall time
+      "parallel_matches_serial": true,
+      "total_events": ..., "events_per_sec_serial": ...,
+      "runs": [                  # one entry per (workload, policy), serial pass
+        {"label": "mp3d/W-I", "workload": "mp3d", "policy": "W-I",
+         "wall_time_s": ..., "events_processed": ..., "events_per_sec": ...,
+         "execution_time": ..., "network_bits": ..., "counters": {...}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import date, datetime, timezone
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Union
+
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.parallel import (
+    RunOutcome,
+    RunSpec,
+    default_workers,
+    result_fingerprint,
+    run_many,
+)
+from repro.workloads import PAPER_BENCHMARKS
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def figure5_suite(preset: str = "default") -> List[RunSpec]:
+    """The fixed bench suite: the Figure-5 sweep, coherence checks off.
+
+    (The checker is a correctness instrument, not part of the simulated
+    machine; benchmarks measure the simulator.)
+    """
+    return [
+        RunSpec.make(
+            name, policy,
+            preset=preset, check_coherence=False,
+            tag=f"{name}/{policy.name}",
+        )
+        for name in PAPER_BENCHMARKS
+        for policy in (
+            ProtocolPolicy.write_invalidate(),
+            ProtocolPolicy.adaptive_default(),
+        )
+    ]
+
+
+def _run_record(outcome: RunOutcome) -> dict:
+    result = outcome.unwrap()
+    wall = outcome.wall_time
+    return {
+        "label": outcome.spec.label,
+        "workload": outcome.spec.workload,
+        "policy": result.policy_name,
+        "wall_time_s": round(wall, 4),
+        "events_processed": result.events_processed,
+        "events_per_sec": round(result.events_processed / wall) if wall > 0 else None,
+        "execution_time": result.execution_time,
+        "network_bits": result.network_bits,
+        "counters": result.counters.as_dict(),
+    }
+
+
+def run_bench_suite(
+    preset: str = "default",
+    workers: Optional[int] = None,
+    specs: Optional[List[RunSpec]] = None,
+) -> dict:
+    """Run the bench suite serially and in parallel; return the snapshot.
+
+    ``workers=None`` uses every core (at least 2, so the speedup is
+    always measured — on a single-core host it honestly records ~1x).
+    """
+    suite = specs if specs is not None else figure5_suite(preset)
+    resolved = max(2, workers if workers is not None else default_workers())
+
+    start = perf_counter()
+    serial = run_many(suite, workers=1)
+    serial_wall = perf_counter() - start
+
+    start = perf_counter()
+    parallel = run_many(suite, workers=resolved)
+    parallel_wall = perf_counter() - start
+
+    matches = all(
+        a.ok and b.ok
+        and result_fingerprint(a.unwrap()) == result_fingerprint(b.unwrap())
+        for a, b in zip(serial, parallel)
+    )
+    total_events = sum(o.unwrap().events_processed for o in serial if o.ok)
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "suite": "figure5",
+        "preset": preset,
+        "workers": resolved,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "serial_wall_time_s": round(serial_wall, 4),
+        "parallel_wall_time_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3) if parallel_wall > 0 else None,
+        "parallel_matches_serial": matches,
+        "total_events": total_events,
+        "events_per_sec_serial": (
+            round(total_events / serial_wall) if serial_wall > 0 else None
+        ),
+        "runs": [_run_record(outcome) for outcome in serial],
+    }
+
+
+def write_bench(doc: dict, path: Optional[Union[str, Path]] = None) -> Path:
+    """Write the snapshot to ``path`` (default ``BENCH_<date>.json``)."""
+    target = Path(path) if path else Path(f"BENCH_{date.today().isoformat()}.json")
+    target.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def load_bench(path: Union[str, Path]) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {doc.get('schema')!r} "
+            f"(expected {BENCH_SCHEMA})"
+        )
+    return doc
+
+
+def render_bench(doc: dict) -> str:
+    """Human-readable summary of one snapshot."""
+    lines = [
+        f"bench suite {doc['suite']!r} (preset {doc['preset']}) — "
+        f"{doc['created']}",
+        f"serial   {doc['serial_wall_time_s']:8.2f} s   "
+        f"{doc['events_per_sec_serial'] or 0:>9,} events/s",
+        f"parallel {doc['parallel_wall_time_s']:8.2f} s   "
+        f"({doc['workers']} workers, speedup {doc['speedup']}x, "
+        f"results {'identical' if doc['parallel_matches_serial'] else 'DIVERGED'})",
+        f"{'run':<16}{'wall s':>8}{'events':>10}{'ev/s':>10}{'exec time':>11}",
+    ]
+    for run in doc["runs"]:
+        lines.append(
+            f"{run['label']:<16}{run['wall_time_s']:>8.2f}"
+            f"{run['events_processed']:>10,}{run['events_per_sec'] or 0:>10,}"
+            f"{run['execution_time']:>11,}"
+        )
+    return "\n".join(lines)
+
+
+def diff_bench(old: dict, new: dict) -> str:
+    """Compare two snapshots run-by-run (positive delta = slower now)."""
+    old_runs: Dict[str, dict] = {run["label"]: run for run in old["runs"]}
+    lines = [
+        f"bench diff: {old['created']} -> {new['created']} "
+        f"(preset {old['preset']} -> {new['preset']})",
+        f"{'run':<16}{'old s':>8}{'new s':>8}{'wall Δ':>9}{'ev/s Δ':>9}",
+    ]
+    for run in new["runs"]:
+        before = old_runs.get(run["label"])
+        if before is None:
+            lines.append(f"{run['label']:<16}{'—':>8}{run['wall_time_s']:>8.2f}  (new)")
+            continue
+        wall_delta = (
+            (run["wall_time_s"] - before["wall_time_s"]) / before["wall_time_s"]
+            if before["wall_time_s"] > 0 else 0.0
+        )
+        eps_delta = (
+            (run["events_per_sec"] - before["events_per_sec"])
+            / before["events_per_sec"]
+            if before.get("events_per_sec") and run.get("events_per_sec") else 0.0
+        )
+        lines.append(
+            f"{run['label']:<16}{before['wall_time_s']:>8.2f}"
+            f"{run['wall_time_s']:>8.2f}{wall_delta:>+9.1%}{eps_delta:>+9.1%}"
+        )
+    old_total, new_total = old["serial_wall_time_s"], new["serial_wall_time_s"]
+    if old_total > 0:
+        lines.append(
+            f"total serial wall: {old_total:.2f} s -> {new_total:.2f} s "
+            f"({(new_total - old_total) / old_total:+.1%})"
+        )
+    return "\n".join(lines)

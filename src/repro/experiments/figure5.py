@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.experiments.runner import ProtocolComparison, compare_protocols
+from repro.experiments.runner import ProtocolComparison, compare_many
 from repro.machine.config import MachineConfig
 from repro.workloads import PAPER_BENCHMARKS
 
@@ -52,18 +52,18 @@ def run_figure5(
     preset: str = "default",
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[Figure5Row]:
-    rows = []
-    for name in PAPER_BENCHMARKS:
-        comparison = compare_protocols(
-            name, preset=preset, config=config, check_coherence=check_coherence
+    comparisons = compare_many(
+        PAPER_BENCHMARKS, preset=preset, config=config,
+        check_coherence=check_coherence, workers=workers,
+    )
+    return [
+        Figure5Row(
+            workload=name, comparison=comparisons[name], paper_etr=PAPER_ETR[name]
         )
-        rows.append(
-            Figure5Row(
-                workload=name, comparison=comparison, paper_etr=PAPER_ETR[name]
-            )
-        )
-    return rows
+        for name in PAPER_BENCHMARKS
+    ]
 
 
 def render_figure5(rows: List[Figure5Row]) -> str:

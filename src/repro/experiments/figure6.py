@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.consistency.models import SEQUENTIAL_CONSISTENCY, WEAK_ORDERING
 from repro.core.policy import ProtocolPolicy
-from repro.experiments.runner import run_workload
+from repro.experiments.parallel import RunSpec, run_many
 from repro.machine.config import MachineConfig
 from repro.machine.system import RunResult
 
@@ -42,26 +42,34 @@ def run_figure6(
     preset: str = "default",
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[Figure6Cell]:
     base = config or MachineConfig.dash_default()
-    cells: Dict[tuple, RunResult] = {}
-    for variant in VARIANTS:
+    keys = [(variant, policy_name) for variant in VARIANTS for policy_name in POLICIES]
+    specs = []
+    for variant, policy_name in keys:
         consistency = SEQUENTIAL_CONSISTENCY if variant == "SC" else WEAK_ORDERING
         cfg = base.with_(infinite_bandwidth=(variant == "WO No Cont."))
-        for policy_name in POLICIES:
-            policy = (
-                ProtocolPolicy.write_invalidate()
-                if policy_name == "W-I"
-                else ProtocolPolicy.adaptive_default()
-            )
-            cells[(variant, policy_name)] = run_workload(
+        policy = (
+            ProtocolPolicy.write_invalidate()
+            if policy_name == "W-I"
+            else ProtocolPolicy.adaptive_default()
+        )
+        specs.append(
+            RunSpec.make(
                 workload,
                 policy,
                 preset=preset,
                 consistency=consistency,
                 config=cfg,
                 check_coherence=check_coherence,
+                tag=f"{workload}/{variant}/{policy_name}",
             )
+        )
+    outcomes = run_many(specs, workers=workers)
+    cells: Dict[tuple, RunResult] = {
+        key: outcome.unwrap() for key, outcome in zip(keys, outcomes)
+    }
     baseline = cells[("SC", "W-I")].execution_time
     return [
         Figure6Cell(

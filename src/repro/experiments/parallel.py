@@ -1,0 +1,243 @@
+"""Parallel experiment execution: fan independent runs out over processes.
+
+The paper's evaluation sweeps every workload under both protocols across
+many machine configurations (Figures 5-6, Tables 3-4).  Each simulation
+is an independent, deterministic, pure-Python event loop, so the natural
+unit of parallelism is one whole run: this module describes a run as a
+picklable :class:`RunSpec`, executes batches of them with
+:func:`run_many`, and returns :class:`RunOutcome` objects in the exact
+order the specs were given regardless of completion order.
+
+Design points:
+
+* **Processes, not threads.**  A run is CPU-bound Python; the pool uses
+  ``multiprocessing`` (``fork`` where available, ``spawn`` otherwise).
+* **Deterministic ordering.**  Results are re-indexed by submission
+  order, so ``run_many(specs, workers=8)`` is byte-identical to
+  ``run_many(specs, workers=1)``.
+* **Per-run error capture.**  A failing run produces a structured
+  :class:`RunError` inside its outcome instead of killing the pool; the
+  other runs complete normally.
+* **Graceful serial fallback.**  ``workers=1``, a single spec, or a
+  platform without multiprocessing support all run inline in this
+  process (no pool, no pickling).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
+from repro.core.policy import ProtocolPolicy
+from repro.machine.config import MachineConfig
+from repro.machine.system import RunResult
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent (workload, policy, consistency, config, seed) run.
+
+    ``overrides`` holds workload parameter overrides as a sorted tuple of
+    pairs so the spec stays hashable and picklable; build specs with
+    :meth:`make` to pass them as keywords.
+    """
+
+    workload: str
+    policy: ProtocolPolicy
+    preset: str = "default"
+    consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY
+    config: Optional[MachineConfig] = None
+    check_coherence: bool = True
+    seed: int = 42
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    #: Free-form label for callers to map outcomes back to their sweep
+    #: coordinates (e.g. "mp3d/AD" or "4x4/small-cache").
+    tag: str = ""
+
+    @staticmethod
+    def make(
+        workload: str,
+        policy: ProtocolPolicy,
+        *,
+        preset: str = "default",
+        consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY,
+        config: Optional[MachineConfig] = None,
+        check_coherence: bool = True,
+        seed: int = 42,
+        tag: str = "",
+        **workload_overrides,
+    ) -> "RunSpec":
+        return RunSpec(
+            workload=workload,
+            policy=policy,
+            preset=preset,
+            consistency=consistency,
+            config=config,
+            check_coherence=check_coherence,
+            seed=seed,
+            overrides=tuple(sorted(workload_overrides.items())),
+            tag=tag,
+        )
+
+    @property
+    def label(self) -> str:
+        return self.tag or f"{self.workload}/{self.policy.name}"
+
+
+@dataclass(frozen=True)
+class RunError:
+    """A structured record of one failed run."""
+
+    exc_type: str
+    message: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"{self.exc_type}: {self.message}"
+
+
+@dataclass
+class RunOutcome:
+    """Result (or captured failure) of executing one :class:`RunSpec`."""
+
+    spec: RunSpec
+    result: Optional[RunResult] = None
+    error: Optional[RunError] = None
+    #: Host wall-clock seconds spent inside the run.
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> RunResult:
+        """The RunResult, or re-raise the captured failure."""
+        if self.error is not None:
+            raise RuntimeError(
+                f"run {self.spec.label!r} failed: {self.error}\n{self.error.traceback}"
+            )
+        assert self.result is not None
+        return self.result
+
+
+def execute_spec(spec: RunSpec) -> RunOutcome:
+    """Execute one spec in this process, capturing any failure."""
+    # Imported here so a forked/spawned worker resolves it at call time
+    # (and to avoid a module-level import cycle with runner.py).
+    from repro.experiments.runner import run_workload
+
+    start = time.perf_counter()
+    try:
+        result = run_workload(
+            spec.workload,
+            spec.policy,
+            preset=spec.preset,
+            consistency=spec.consistency,
+            config=spec.config,
+            check_coherence=spec.check_coherence,
+            seed=spec.seed,
+            **dict(spec.overrides),
+        )
+    except Exception as exc:  # noqa: BLE001 - the pool must survive any run
+        return RunOutcome(
+            spec=spec,
+            error=RunError(
+                exc_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback.format_exc(),
+            ),
+            wall_time=time.perf_counter() - start,
+        )
+    return RunOutcome(spec=spec, result=result, wall_time=time.perf_counter() - start)
+
+
+def _execute_indexed(item: Tuple[int, RunSpec]) -> Tuple[int, RunOutcome]:
+    """Pool entry point: carry the submission index through the worker."""
+    index, spec = item
+    return index, execute_spec(spec)
+
+
+def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The preferred multiprocessing context, or None if unavailable."""
+    try:
+        methods = multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return None
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None  # pragma: no cover - no known start method
+
+
+def default_workers() -> int:
+    """A sensible worker count for this host (>= 1)."""
+    return max(1, multiprocessing.cpu_count() or 1)
+
+
+def run_many(
+    specs: Sequence[RunSpec], workers: int = 1, chunksize: int = 1
+) -> List[RunOutcome]:
+    """Execute every spec and return outcomes in submission order.
+
+    ``workers=1`` (or a single spec, or a platform without process
+    support) runs serially in this process; otherwise a process pool of
+    ``min(workers, len(specs))`` executes the batch.  Either way the
+    returned list lines up index-for-index with ``specs`` and parallel
+    results are identical to serial ones (each run is a self-contained
+    deterministic simulation).
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    context = _pool_context() if workers > 1 and len(specs) > 1 else None
+    if context is None:
+        return [execute_spec(spec) for spec in specs]
+
+    outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
+    with context.Pool(processes=min(workers, len(specs))) as pool:
+        for index, outcome in pool.imap_unordered(
+            _execute_indexed, list(enumerate(specs)), chunksize=chunksize
+        ):
+            outcomes[index] = outcome
+    assert all(outcome is not None for outcome in outcomes)
+    return outcomes  # type: ignore[return-value]
+
+
+def result_fingerprint(result: RunResult) -> dict:
+    """Every deterministic observable of a run, for equality checks.
+
+    Two runs of the same spec must produce identical fingerprints whether
+    they executed serially or in a worker process.
+    """
+    return {
+        "execution_time": result.execution_time,
+        "counters": result.counters.as_dict(),
+        "network_bits": result.network_bits,
+        "network_messages": result.network_messages,
+        "bits_by_kind": result.bits_by_kind,
+        "count_by_kind": result.count_by_kind,
+        "events_processed": result.events_processed,
+        "policy": result.policy_name,
+        "consistency": result.consistency_name,
+    }
+
+
+def run_pairs(
+    specs: Sequence[RunSpec], workers: int = 1
+) -> List[Tuple[RunResult, RunResult]]:
+    """Execute an even list of specs and unwrap them as (even, odd) pairs.
+
+    Convenience for W-I/AD sweeps: callers interleave the two protocol
+    specs per sweep point and get back one result pair per point.
+    """
+    if len(specs) % 2:
+        raise ValueError(f"run_pairs needs an even spec count, got {len(specs)}")
+    outcomes = run_many(specs, workers=workers)
+    return [
+        (outcomes[i].unwrap(), outcomes[i + 1].unwrap())
+        for i in range(0, len(outcomes), 2)
+    ]

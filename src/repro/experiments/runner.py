@@ -6,15 +6,21 @@ Every table/figure module in this package builds on two entry points:
 * :func:`compare_protocols` — the W-I vs AD pair for one workload, with
   the paper's derived metrics (ETR, read-exclusive reduction, traffic
   reduction, write-penalty reduction) as properties.
+
+Both route through :mod:`repro.experiments.parallel`, so every entry
+point takes ``workers=`` to fan its independent runs out over processes;
+:func:`compare_many` batches several workloads into one pool.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
 from repro.core.policy import ProtocolPolicy
+from repro.experiments.parallel import RunSpec, run_many
 from repro.machine.config import MachineConfig
 from repro.machine.system import Machine, RunResult
 from repro.workloads import make_workload
@@ -53,8 +59,15 @@ class ProtocolComparison:
 
     @property
     def execution_time_ratio(self) -> float:
-        """The paper's ETR: W-I time relative to AD (>1 means AD wins)."""
-        return self.wi.execution_time / max(1, self.ad.execution_time)
+        """The paper's ETR: W-I time relative to AD (>1 means AD wins).
+
+        A zero-length run has no meaningful ETR; masking it with a fake
+        denominator would silently report W-I's absolute time as a
+        "ratio", so empty runs yield NaN instead.
+        """
+        if self.wi.execution_time <= 0 or self.ad.execution_time <= 0:
+            return math.nan
+        return self.wi.execution_time / self.ad.execution_time
 
     @property
     def rx_reduction(self) -> float:
@@ -95,7 +108,7 @@ class ProtocolComparison:
         return result.counter("replacement_misses") / refs
 
 
-def compare_protocols(
+def comparison_specs(
     workload: str,
     *,
     preset: str = "default",
@@ -104,16 +117,72 @@ def compare_protocols(
     check_coherence: bool = True,
     seed: int = 42,
     **workload_overrides,
+) -> List[RunSpec]:
+    """The (W-I, AD) spec pair for one workload with identical parameters."""
+    return [
+        RunSpec.make(
+            workload, policy,
+            preset=preset, consistency=consistency, config=config,
+            check_coherence=check_coherence, seed=seed,
+            tag=f"{workload}/{policy.name}", **workload_overrides,
+        )
+        for policy in (
+            ProtocolPolicy.write_invalidate(),
+            ProtocolPolicy.adaptive_default(),
+        )
+    ]
+
+
+def compare_protocols(
+    workload: str,
+    *,
+    preset: str = "default",
+    consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY,
+    config: Optional[MachineConfig] = None,
+    check_coherence: bool = True,
+    seed: int = 42,
+    workers: int = 1,
+    **workload_overrides,
 ) -> ProtocolComparison:
-    """Run a workload under both W-I and AD with identical parameters."""
-    wi = run_workload(
-        workload, ProtocolPolicy.write_invalidate(),
-        preset=preset, consistency=consistency, config=config,
+    """Run a workload under both W-I and AD with identical parameters.
+
+    ``workers=2`` runs the two independent simulations concurrently.
+    """
+    specs = comparison_specs(
+        workload, preset=preset, consistency=consistency, config=config,
         check_coherence=check_coherence, seed=seed, **workload_overrides,
     )
-    ad = run_workload(
-        workload, ProtocolPolicy.adaptive_default(),
-        preset=preset, consistency=consistency, config=config,
-        check_coherence=check_coherence, seed=seed, **workload_overrides,
-    )
+    wi, ad = [outcome.unwrap() for outcome in run_many(specs, workers=workers)]
     return ProtocolComparison(workload=workload, wi=wi, ad=ad)
+
+
+def compare_many(
+    workloads: Sequence[str],
+    *,
+    preset: str = "default",
+    consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY,
+    config: Optional[MachineConfig] = None,
+    check_coherence: bool = True,
+    seed: int = 42,
+    workers: int = 1,
+) -> Dict[str, ProtocolComparison]:
+    """W-I vs AD for several workloads, fanned out over one worker pool.
+
+    All ``2 * len(workloads)`` runs are independent, so the pool drains
+    them together instead of pairing serially per workload.
+    """
+    specs: List[RunSpec] = []
+    for name in workloads:
+        specs.extend(
+            comparison_specs(
+                name, preset=preset, consistency=consistency, config=config,
+                check_coherence=check_coherence, seed=seed,
+            )
+        )
+    outcomes = run_many(specs, workers=workers)
+    comparisons = {}
+    for index, name in enumerate(workloads):
+        wi = outcomes[2 * index].unwrap()
+        ad = outcomes[2 * index + 1].unwrap()
+        comparisons[name] = ProtocolComparison(workload=name, wi=wi, ad=ad)
+    return comparisons

@@ -18,10 +18,10 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.policy import ProtocolPolicy
+from repro.experiments.parallel import RunSpec, run_pairs
 from repro.machine.config import MachineConfig
-from repro.machine.system import Machine, RunResult
+from repro.machine.system import RunResult
 from repro.stats.sharing_profile import invalidation_profile
-from repro.workloads.synthetic import MigratoryCounters
 
 
 @dataclass
@@ -47,35 +47,37 @@ def run_scaling(
     meshes: Tuple[Tuple[int, int], ...] = ((2, 2), (4, 4), (8, 8)),
     iterations: int = 20,
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[ScalingPoint]:
-    points = []
+    specs = []
     for width, height in meshes:
         nodes = width * height
-        results = {}
+        config = MachineConfig(
+            mesh_width=width, mesh_height=height, check_coherence=check_coherence
+        )
         for policy in (
             ProtocolPolicy.write_invalidate(),
             ProtocolPolicy.adaptive_default(),
         ):
-            config = MachineConfig(
-                mesh_width=width,
-                mesh_height=height,
-                policy=policy,
-                check_coherence=check_coherence,
-            )
-            machine = Machine(config)
             # Counters scale with the machine so per-processor contention
             # (and thus migratory behaviour) stays constant.
-            workload = MigratoryCounters(
-                nodes,
-                num_counters=max(2, nodes // 2),
-                iterations=iterations,
-                record_lines=2,
+            specs.append(
+                RunSpec.make(
+                    "migratory-counters",
+                    policy,
+                    config=config,
+                    check_coherence=check_coherence,
+                    tag=f"{width}x{height}/{policy.name}",
+                    num_counters=max(2, nodes // 2),
+                    iterations=iterations,
+                    record_lines=2,
+                )
             )
-            results[policy.name] = machine.run(workload.programs())
-        points.append(
-            ScalingPoint(mesh=(width, height), wi=results["W-I"], ad=results["AD"])
-        )
-    return points
+    pairs = run_pairs(specs, workers=workers)
+    return [
+        ScalingPoint(mesh=mesh, wi=wi, ad=ad)
+        for mesh, (wi, ad) in zip(meshes, pairs)
+    ]
 
 
 def render_scaling(points: List[ScalingPoint]) -> str:

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.core.policy import ProtocolPolicy
-from repro.experiments.runner import run_workload
+from repro.experiments.parallel import RunSpec, run_pairs
 from repro.machine.config import MachineConfig
 from repro.machine.system import RunResult
 
@@ -55,21 +55,25 @@ def run_section54(
     preset: str = "default",
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[StabilityRow]:
-    rows = []
-    for name in MIGRATORY_APPS:
-        adaptive = run_workload(
-            name, ProtocolPolicy.adaptive_default(),
+    specs = [
+        RunSpec.make(
+            name, policy,
             preset=preset, config=config, check_coherence=check_coherence,
+            tag=f"{name}/{policy.name}",
         )
-        disabled = run_workload(
-            name, ProtocolPolicy(adaptive=True, nomig_enabled=False),
-            preset=preset, config=config, check_coherence=check_coherence,
+        for name in MIGRATORY_APPS
+        for policy in (
+            ProtocolPolicy.adaptive_default(),
+            ProtocolPolicy(adaptive=True, nomig_enabled=False),
         )
-        rows.append(
-            StabilityRow(workload=name, adaptive=adaptive, nomig_disabled=disabled)
-        )
-    return rows
+    ]
+    pairs = run_pairs(specs, workers=workers)
+    return [
+        StabilityRow(workload=name, adaptive=adaptive, nomig_disabled=disabled)
+        for name, (adaptive, disabled) in zip(MIGRATORY_APPS, pairs)
+    ]
 
 
 @dataclass
@@ -95,17 +99,21 @@ class NoMigNecessity:
 
 
 def run_nomig_necessity(
-    read_rounds: int = 30, check_coherence: bool = True
+    read_rounds: int = 30, check_coherence: bool = True, workers: int = 1
 ) -> NoMigNecessity:
     """Read-only sharing with and without the NoMig revert."""
-    with_nomig = run_workload(
-        "read-only", ProtocolPolicy.adaptive_default(),
-        read_rounds=read_rounds, check_coherence=check_coherence,
-    )
-    without = run_workload(
-        "read-only", ProtocolPolicy(adaptive=True, nomig_enabled=False),
-        read_rounds=read_rounds, check_coherence=check_coherence,
-    )
+    specs = [
+        RunSpec.make(
+            "read-only", policy,
+            check_coherence=check_coherence, read_rounds=read_rounds,
+            tag=f"read-only/{policy.name}",
+        )
+        for policy in (
+            ProtocolPolicy.adaptive_default(),
+            ProtocolPolicy(adaptive=True, nomig_enabled=False),
+        )
+    ]
+    [(with_nomig, without)] = run_pairs(specs, workers=workers)
     return NoMigNecessity(with_nomig=with_nomig, without_nomig=without)
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.experiments.runner import ProtocolComparison, compare_protocols
+from repro.experiments.runner import ProtocolComparison, compare_many
 from repro.machine.config import MachineConfig
 from repro.workloads import PAPER_BENCHMARKS
 
@@ -54,14 +54,14 @@ def run_table3(
     preset: str = "default",
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[Table3Row]:
+    comparisons = compare_many(
+        PAPER_BENCHMARKS, preset=preset, config=config,
+        check_coherence=check_coherence, workers=workers,
+    )
     return [
-        Table3Row(
-            workload=name,
-            comparison=compare_protocols(
-                name, preset=preset, config=config, check_coherence=check_coherence
-            ),
-        )
+        Table3Row(workload=name, comparison=comparisons[name])
         for name in PAPER_BENCHMARKS
     ]
 

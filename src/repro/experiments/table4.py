@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.experiments.runner import ProtocolComparison, compare_protocols
+from repro.experiments.parallel import run_many
+from repro.experiments.runner import ProtocolComparison, comparison_specs
 from repro.machine.config import MachineConfig
 from repro.workloads import PAPER_BENCHMARKS
 
@@ -76,21 +77,29 @@ def run_table4(
     large_cache: int = LARGE_CACHE,
     small_cache: int = SMALL_CACHE,
     check_coherence: bool = True,
+    workers: int = 1,
 ) -> List[Table4Row]:
     base = config or MachineConfig.dash_default()
-    rows = []
+    specs = []
     for name in PAPER_BENCHMARKS:
-        large = compare_protocols(
-            name,
-            preset=preset,
-            config=base.with_(cache_size=large_cache),
-            check_coherence=check_coherence,
+        for cache_size in (large_cache, small_cache):
+            specs.extend(
+                comparison_specs(
+                    name,
+                    preset=preset,
+                    config=base.with_(cache_size=cache_size),
+                    check_coherence=check_coherence,
+                )
+            )
+    outcomes = run_many(specs, workers=workers)
+    rows = []
+    for index, name in enumerate(PAPER_BENCHMARKS):
+        at = 4 * index  # 2 cache sizes x 2 protocols per workload
+        large = ProtocolComparison(
+            workload=name, wi=outcomes[at].unwrap(), ad=outcomes[at + 1].unwrap()
         )
-        small = compare_protocols(
-            name,
-            preset=preset,
-            config=base.with_(cache_size=small_cache),
-            check_coherence=check_coherence,
+        small = ProtocolComparison(
+            workload=name, wi=outcomes[at + 2].unwrap(), ad=outcomes[at + 3].unwrap()
         )
         rows.append(Table4Row(workload=name, large=large, small=small))
     return rows

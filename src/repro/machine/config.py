@@ -38,7 +38,9 @@ class MachineConfig:
     # Network.
     link_bits: int = 16
     fall_through: int = 3
-    interface_delay: int = 2
+    #: Network-interface traversal in pclocks per *end* (paid at both
+    #: injection and ejection; 1 per end = the paper's 2-pclock total).
+    interface_delay: int = 1
     infinite_bandwidth: bool = False
     # Local bus (50 MHz: 2 pclocks arbitration, 2 pclocks per transfer).
     bus_arbitration: int = 2

@@ -32,7 +32,7 @@ class Fabric:
         *,
         link_bits: int = 16,
         fall_through: int = 3,
-        interface_delay: int = 2,
+        interface_delay: int = 1,
         infinite_bandwidth: bool = False,
     ) -> None:
         self.sim = sim

@@ -42,8 +42,10 @@ class Mesh:
         Router pipeline depth in pclocks paid by the head flit per hop
         (paper: three stages — arbitrate, route, send).
     ``interface_delay``
-        Fixed injection+ejection overhead in pclocks (network-interface
-        traversal at each end).
+        Network-interface traversal overhead in pclocks paid at *each*
+        end of a transfer: once at injection and once at ejection (the
+        machine default of 1 per end gives the paper's 2-pclock total
+        interface overhead).
     ``infinite_bandwidth``
         If True, links never queue (same latency, zero contention) — the
         paper's "No Cont." network for Figure 6.
@@ -57,7 +59,7 @@ class Mesh:
         *,
         link_bits: int = 16,
         fall_through: int = 3,
-        interface_delay: int = 2,
+        interface_delay: int = 1,
         infinite_bandwidth: bool = False,
         name: str = "mesh",
     ) -> None:
@@ -72,6 +74,9 @@ class Mesh:
         self.name = name
         self.num_nodes = width * height
         link_cls = InfiniteResource if infinite_bandwidth else Resource
+        # XY routes are static, so each (src, dst) path is computed once
+        # and reused for every message on the hot send path.
+        self._route_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
         #: Directed links keyed by (from_node, to_node).
         self.links: Dict[Tuple[int, int], Resource] = {}
         for node in range(self.num_nodes):
@@ -107,7 +112,14 @@ class Mesh:
         return result
 
     def route(self, src: int, dst: int) -> List[Tuple[int, int]]:
-        """Dimension-order (X first, then Y) route as a list of links."""
+        """Dimension-order (X first, then Y) route as a list of links.
+
+        Routes are cached per (src, dst); callers must not mutate the
+        returned list.
+        """
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
             raise ValueError(f"node out of range: {src} -> {dst}")
         path: List[Tuple[int, int]] = []
@@ -124,6 +136,7 @@ class Mesh:
             nxt = self.node_at(x, y)
             path.append((node, nxt))
             node = nxt
+        self._route_cache[(src, dst)] = path
         return path
 
     def hop_count(self, src: int, dst: int) -> int:
@@ -143,10 +156,16 @@ class Mesh:
         return total / pairs if pairs else 0.0
 
     def unloaded_latency(self, src: int, dst: int, bits: int) -> int:
-        """Contention-free traversal time for a ``bits``-sized message."""
-        msg = NetworkMessage(src=src, dst=dst, bits=bits)
+        """Contention-free traversal time for a ``bits``-sized message.
+
+        Matches :meth:`send` exactly: a self-message crosses both
+        interface ends but no link, so it pays no flit serialization.
+        """
+        if src == dst:
+            return 2 * self.interface_delay
+        flits = -(-bits // self.link_bits)  # ceil division, no message alloc
         hops = self.hop_count(src, dst)
-        return hops * self.fall_through + msg.flits(self.link_bits) + self.interface_delay
+        return hops * self.fall_through + flits + 2 * self.interface_delay
 
     # ------------------------------------------------------------------
     # Transfer
@@ -154,10 +173,11 @@ class Mesh:
     def send(self, message: NetworkMessage, deliver: DeliveryCallback) -> None:
         """Inject ``message`` now; call ``deliver(message)`` on arrival.
 
-        The head flit advances one fall-through per hop after acquiring the
-        link; the tail arrives ``flits`` pclocks after the head enters the
-        final link.  A message to self is delivered after the interface
-        delay only (no mesh traversal).
+        The message pays ``interface_delay`` at each end (injection and
+        ejection); between them the head flit advances one fall-through
+        per hop after acquiring the link, and the tail arrives ``flits``
+        pclocks after the head enters the final link.  A message to self
+        pays both interface crossings but no mesh traversal.
         """
         now = self.sim.now
         message.sent_at = now
@@ -166,7 +186,7 @@ class Mesh:
         self.bits_sent += message.bits
 
         if message.src == message.dst:
-            arrival = now + self.interface_delay
+            arrival = now + 2 * self.interface_delay
         else:
             head = now + self.interface_delay
             path = self.route(message.src, message.dst)
@@ -174,7 +194,7 @@ class Mesh:
                 start = self.links[link_key].reserve(head, flits)
                 head = start + self.fall_through
                 self.flit_hops += flits
-            arrival = head + flits
+            arrival = head + flits + self.interface_delay
 
         def _deliver() -> None:
             message.delivered_at = self.sim.now

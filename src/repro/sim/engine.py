@@ -79,12 +79,7 @@ class Simulator:
                     break
                 heapq.heappop(queue)
                 self._now = time
-                self.events_processed += 1
-                if self.max_events is not None and self.events_processed > self.max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={self.max_events}; "
-                        "likely a protocol livelock"
-                    )
+                self._count_event()
                 callback()
             if until is not None and self._now < until and not queue:
                 self._now = until
@@ -92,11 +87,24 @@ class Simulator:
             self._running = False
 
     def step(self) -> bool:
-        """Process a single event.  Returns False if the queue was empty."""
+        """Process a single event.  Returns False if the queue was empty.
+
+        Step-driven loops get the same ``max_events`` livelock guard as
+        :meth:`run`.
+        """
         if not self._queue:
             return False
         time, _seq, callback = heapq.heappop(self._queue)
         self._now = time
-        self.events_processed += 1
+        self._count_event()
         callback()
         return True
+
+    def _count_event(self) -> None:
+        """Count one processed event, enforcing the livelock safety valve."""
+        self.events_processed += 1
+        if self.max_events is not None and self.events_processed > self.max_events:
+            raise SimulationError(
+                f"exceeded max_events={self.max_events}; "
+                "likely a protocol livelock"
+            )

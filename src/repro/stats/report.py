@@ -45,11 +45,15 @@ def stacked_bar(parts: dict, width: int = 40) -> str:
     return bar
 
 
-def full_report(preset: str = "default", check_coherence: bool = False) -> str:
+def full_report(
+    preset: str = "default", check_coherence: bool = False, workers: int = 1
+) -> str:
     """Run every experiment and render the complete paper-vs-measured report.
 
     This is what ``repro-sim report`` prints; EXPERIMENTS.md is generated
-    from the same output.  Expect a few minutes at the default preset.
+    from the same output.  Expect a few minutes at the default preset
+    (``workers=N`` fans each experiment's independent runs over N
+    processes).
     """
     from repro.analysis import (
         ad_episode_cost,
@@ -74,33 +78,20 @@ def full_report(preset: str = "default", check_coherence: bool = False) -> str:
     )
     from repro.experiments.ablations import render_rxq_heuristic
 
+    kwargs = dict(preset=preset, check_coherence=check_coherence, workers=workers)
     sections = []
     sections.append(render_table1(measure_table1()))
-    sections.append(
-        render_figure5(run_figure5(preset=preset, check_coherence=check_coherence))
-    )
-    sections.append(
-        render_table3(run_table3(preset=preset, check_coherence=check_coherence))
-    )
-    sections.append(
-        render_figure6(run_figure6(preset=preset, check_coherence=check_coherence))
-    )
-    sections.append(
-        render_table4(run_table4(preset=preset, check_coherence=check_coherence))
-    )
-    sections.append(
-        render_section54(run_section54(preset=preset, check_coherence=check_coherence))
-    )
-    necessity = run_nomig_necessity(check_coherence=check_coherence)
+    sections.append(render_figure5(run_figure5(**kwargs)))
+    sections.append(render_table3(run_table3(**kwargs)))
+    sections.append(render_figure6(run_figure6(**kwargs)))
+    sections.append(render_table4(run_table4(**kwargs)))
+    sections.append(render_section54(run_section54(**kwargs)))
+    necessity = run_nomig_necessity(check_coherence=check_coherence, workers=workers)
     sections.append(
         "NoMig necessity (read-only sharing pattern): disabling the revert "
         f"slows execution by {necessity.slowdown:.0%}"
     )
-    sections.append(
-        render_rxq_heuristic(
-            run_rxq_heuristic_ablation(preset=preset, check_coherence=check_coherence)
-        )
-    )
+    sections.append(render_rxq_heuristic(run_rxq_heuristic_ablation(**kwargs)))
     wi, ad = wi_episode_cost(), ad_episode_cost()
     sections.append(
         "Section 5.2 message arithmetic: W-I episode "

@@ -1,0 +1,166 @@
+"""Parallel experiment runner: determinism, error capture, bench harness.
+
+The core guarantee under test: for a fixed (workload, seed, config), a
+run produces identical observables every time — serially, repeated in
+one process, and through the multiprocessing pool (parallel results must
+be byte-identical to serial).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.bench import (
+    BENCH_SCHEMA,
+    diff_bench,
+    figure5_suite,
+    load_bench,
+    render_bench,
+    run_bench_suite,
+    write_bench,
+)
+from repro.experiments.parallel import (
+    RunSpec,
+    execute_spec,
+    result_fingerprint,
+    run_many,
+    run_pairs,
+)
+from repro.experiments.runner import ProtocolComparison, compare_protocols
+from repro.machine.system import RunResult
+from repro.stats.counters import Counters
+
+
+def tiny_specs():
+    """A small mixed batch: cheap runs across workloads and policies."""
+    return [
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.write_invalidate(),
+            iterations=6, tag="mig/W-I",
+        ),
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.adaptive_default(),
+            iterations=6, tag="mig/AD",
+        ),
+        RunSpec.make(
+            "producer-consumer", ProtocolPolicy.adaptive_default(),
+            rounds=4, tag="pc/AD",
+        ),
+        RunSpec.make(
+            "read-only", ProtocolPolicy.write_invalidate(),
+            read_rounds=4, tag="ro/W-I",
+        ),
+    ]
+
+
+def test_same_spec_twice_is_deterministic():
+    spec = tiny_specs()[1]
+    first = execute_spec(spec).unwrap()
+    second = execute_spec(spec).unwrap()
+    assert first.execution_time == second.execution_time
+    assert first.counters.as_dict() == second.counters.as_dict()
+    assert result_fingerprint(first) == result_fingerprint(second)
+
+
+def test_parallel_results_identical_to_serial():
+    specs = tiny_specs()
+    serial = run_many(specs, workers=1)
+    parallel = run_many(specs, workers=2)
+    assert [o.spec.tag for o in parallel] == [s.tag for s in specs]  # ordering
+    for s, p in zip(serial, parallel):
+        assert s.ok and p.ok
+        assert result_fingerprint(s.unwrap()) == result_fingerprint(p.unwrap())
+
+
+def test_failed_run_is_captured_not_fatal():
+    specs = [
+        tiny_specs()[0],
+        RunSpec.make("no-such-workload", ProtocolPolicy.adaptive_default()),
+        tiny_specs()[2],
+    ]
+    outcomes = run_many(specs, workers=2)
+    assert outcomes[0].ok and outcomes[2].ok
+    failed = outcomes[1]
+    assert not failed.ok
+    assert failed.error.exc_type == "ValueError"
+    assert "no-such-workload" in failed.error.message
+    with pytest.raises(RuntimeError, match="no-such-workload"):
+        failed.unwrap()
+
+
+def test_run_many_empty_and_serial_fallback():
+    assert run_many([], workers=8) == []
+    [only] = run_many([tiny_specs()[0]], workers=8)  # single spec runs inline
+    assert only.ok
+
+
+def test_run_pairs_rejects_odd_batch():
+    with pytest.raises(ValueError, match="even"):
+        run_pairs(tiny_specs()[:3])
+
+
+def test_compare_protocols_workers_matches_serial():
+    serial = compare_protocols("migratory-counters", iterations=6)
+    fanned = compare_protocols("migratory-counters", iterations=6, workers=2)
+    assert result_fingerprint(serial.wi) == result_fingerprint(fanned.wi)
+    assert result_fingerprint(serial.ad) == result_fingerprint(fanned.ad)
+
+
+def _empty_result(execution_time=0):
+    return RunResult(
+        execution_time=execution_time,
+        breakdowns=[],
+        counters=Counters(),
+        network_bits=0,
+        network_messages=0,
+        bits_by_kind={},
+        count_by_kind={},
+        events_processed=0,
+        policy_name="W-I",
+        consistency_name="SC",
+    )
+
+
+def test_execution_time_ratio_nan_for_empty_runs():
+    empty_both = ProtocolComparison(
+        workload="x", wi=_empty_result(), ad=_empty_result()
+    )
+    assert math.isnan(empty_both.execution_time_ratio)
+    empty_ad = ProtocolComparison(
+        workload="x", wi=_empty_result(100), ad=_empty_result()
+    )
+    assert math.isnan(empty_ad.execution_time_ratio)
+    real = ProtocolComparison(
+        workload="x", wi=_empty_result(150), ad=_empty_result(100)
+    )
+    assert real.execution_time_ratio == pytest.approx(1.5)
+
+
+def test_bench_suite_snapshot_and_diff(tmp_path):
+    doc = run_bench_suite(preset="tiny", workers=2)
+    assert doc["schema"] == BENCH_SCHEMA
+    assert doc["parallel_matches_serial"] is True
+    assert doc["speedup"] is not None and doc["speedup"] > 0
+    assert len(doc["runs"]) == len(figure5_suite("tiny")) == 8
+    for run in doc["runs"]:
+        assert run["events_processed"] > 0
+        assert run["execution_time"] > 0
+        assert run["counters"]
+
+    target = write_bench(doc, tmp_path / "BENCH_test.json")
+    loaded = load_bench(target)
+    assert loaded == json.loads(json.dumps(doc))  # round-trips as JSON
+
+    text = render_bench(doc)
+    assert "speedup" in text and "mp3d/AD" in text
+    diff = diff_bench(loaded, doc)
+    assert "total serial wall" in diff
+
+
+def test_load_bench_rejects_unknown_schema(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"schema": "other/9"}))
+    with pytest.raises(ValueError, match="schema"):
+        load_bench(bogus)

@@ -47,11 +47,15 @@ def test_mean_distance_4x4():
 
 
 def test_unloaded_latency_formula():
+    # interface_delay is paid per end: injection + ejection.
     _, mesh = make_mesh(fall_through=3, interface_delay=2)
     # 40-bit message -> ceil(40/16) = 3 flits; 1 hop.
-    assert mesh.unloaded_latency(0, 1, 40) == 1 * 3 + 3 + 2
+    assert mesh.unloaded_latency(0, 1, 40) == 1 * 3 + 3 + 2 * 2
     # 168-bit message -> ceil(168/16) = 11 flits; 6 hops.
-    assert mesh.unloaded_latency(0, 15, 168) == 6 * 3 + 11 + 2
+    assert mesh.unloaded_latency(0, 15, 168) == 6 * 3 + 11 + 2 * 2
+    # The machine default (1 per end) reproduces the paper's 2-pclock total.
+    _, default_mesh = make_mesh(fall_through=3)
+    assert default_mesh.unloaded_latency(0, 1, 40) == 1 * 3 + 3 + 2
 
 
 def test_delivery_time_matches_unloaded_latency():
@@ -64,11 +68,22 @@ def test_delivery_time_matches_unloaded_latency():
 
 
 def test_self_message_pays_interface_only():
+    # No mesh traversal, but both interface crossings (inject + eject).
     sim, mesh = make_mesh(interface_delay=2)
     arrival = []
     mesh.send(NetworkMessage(src=3, dst=3, bits=168), lambda m: arrival.append(sim.now))
     sim.run()
-    assert arrival == [2]
+    assert arrival == [4]
+    assert mesh.unloaded_latency(3, 3, 168) == 4
+
+
+def test_route_cache_returns_same_path():
+    _, mesh = make_mesh()
+    first = mesh.route(0, 15)
+    assert mesh.route(0, 15) is first  # cached, not recomputed
+    assert first == [(0, 1), (1, 2), (2, 3), (3, 7), (7, 11), (11, 15)]
+    with pytest.raises(ValueError):
+        mesh.route(0, 99)  # invalid pairs are still rejected, not cached
 
 
 def test_contention_delays_second_message():

@@ -104,6 +104,30 @@ def test_max_events_guard_trips_on_livelock():
         sim.run()
 
 
+def test_max_events_guard_trips_in_step_loop():
+    # step() enforces the same livelock valve as run().
+    sim = Simulator(max_events=10)
+
+    def respawn():
+        sim.schedule(1, respawn)
+
+    sim.schedule(1, respawn)
+    with pytest.raises(SimulationError, match="max_events"):
+        while sim.step():
+            pass
+
+
+def test_step_counts_toward_run_budget():
+    # The budget is shared: events consumed via step() count against run().
+    sim = Simulator(max_events=5)
+    for _ in range(6):
+        sim.schedule(1, lambda: None)
+    for _ in range(5):
+        assert sim.step()
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run()
+
+
 def test_zero_delay_event_fires_at_current_time():
     sim = Simulator()
     times = []

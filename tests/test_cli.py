@@ -41,8 +41,27 @@ def test_unknown_protocol_rejected():
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for sub in ("run", "compare", "table1", "report", "list"):
+    for sub in ("run", "compare", "table1", "report", "bench", "list"):
         assert sub in text
+
+
+def test_compare_command_workers(capsys):
+    code = main(["compare", "producer-consumer", "--workers", "2"])
+    assert code == 0
+    assert "execution-time ratio" in capsys.readouterr().out
+
+
+def test_bench_command_quick(tmp_path, capsys):
+    target = tmp_path / "BENCH_smoke.json"
+    code = main(["bench", "--quick", "--workers", "2", "--output", str(target)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out and "results identical" in out
+    import json
+
+    doc = json.loads(target.read_text())
+    assert doc["schema"] == "repro-bench/1"
+    assert doc["parallel_matches_serial"] is True
 
 
 def test_verify_command(capsys):
