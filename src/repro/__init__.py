@@ -17,13 +17,19 @@ See :mod:`repro.workloads` for the paper's benchmark programs and
 from repro.consistency import SEQUENTIAL_CONSISTENCY, WEAK_ORDERING
 from repro.core import ProtocolPolicy, ReferenceDetectorFSM, should_nominate
 from repro.cpu import Barrier, Compute, Lock, Read, Unlock, Write
+from repro.faults import DiagnosticDump, FaultConfig
 from repro.machine import Machine, MachineConfig, RunResult, SharedAllocator
+from repro.sim.engine import DeadlockError, LivelockError
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Barrier",
     "Compute",
+    "DeadlockError",
+    "DiagnosticDump",
+    "FaultConfig",
+    "LivelockError",
     "Lock",
     "Machine",
     "MachineConfig",

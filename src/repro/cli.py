@@ -7,6 +7,7 @@ Examples::
     repro-sim table1
     repro-sim report --preset default --workers 4
     repro-sim bench --quick
+    repro-sim chaos mp3d --intensities 0,0.5 --preset tiny
     repro-sim list
 """
 
@@ -198,6 +199,40 @@ def _cmd_bus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection sweep: survival matrix across intensities."""
+    import json
+
+    from repro.experiments.chaos import DEFAULT_WORKLOADS, run_chaos
+
+    for name in args.workloads:
+        if name not in WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+            )
+    try:
+        intensities = [float(x) for x in args.intensities.split(",") if x.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"--intensities must be comma-separated floats, got "
+            f"{args.intensities!r}"
+        ) from None
+    report = run_chaos(
+        args.workloads or DEFAULT_WORKLOADS,
+        intensities,
+        preset=args.preset,
+        seed=args.seed,
+        watchdog=args.watchdog,
+        workers=args.workers,
+        check_coherence=not args.no_check,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.all_ok else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = []
     for name in sorted(WORKLOADS):
@@ -287,6 +322,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--against", default=None, metavar="BENCH_JSON",
                          help="print a regression diff against an older snapshot")
     bench_p.set_defaults(func=_cmd_bench)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: W-I and AD across fault intensities",
+    )
+    chaos_p.add_argument(
+        "workloads", nargs="*", metavar="workload",
+        help="workloads to stress (default: mp3d migratory-counters)",
+    )
+    chaos_p.add_argument("--intensities", default="0,0.25,0.5,1.0",
+                         help="comma-separated fault intensities (include 0 "
+                              "for baseline deltas)")
+    chaos_p.add_argument("--preset", default="tiny")
+    chaos_p.add_argument("--seed", type=int, default=42,
+                         help="fault-plan seed; same (seed, intensity) "
+                              "replays the same perturbation")
+    chaos_p.add_argument("--watchdog", type=int, default=200_000,
+                         help="livelock watchdog window in pclocks")
+    chaos_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the grid (default 1)")
+    chaos_p.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    chaos_p.add_argument("--no-check", action="store_true")
+    chaos_p.set_defaults(func=_cmd_chaos)
 
     list_p = sub.add_parser("list", help="list available workloads")
     list_p.set_defaults(func=_cmd_list)

@@ -92,6 +92,7 @@ class CacheController:
         checker: CoherenceChecker,
         counters: Counters,
         service_delay: int = 4,
+        faults=None,
     ) -> None:
         self.node = node
         self.sim = sim
@@ -103,6 +104,9 @@ class CacheController:
         self.counters = counters
         #: Tag check + data-array read time when servicing a forward.
         self.service_delay = service_delay
+        #: Optional :class:`~repro.faults.plan.FaultPlan` consulted when a
+        #: forward arrives (forced spurious-eviction NAKs).
+        self.faults = faults
         self.mshrs: Dict[int, MSHR] = {}
         #: Dirty data in flight to home: block -> outstanding writeback count.
         self.wb_buffer: Dict[int, int] = {}
@@ -433,6 +437,13 @@ class CacheController:
             raise SimulationError(
                 f"cache {self.node}: forward for {line.state} line, block {block}"
             )
+        if (
+            self.faults is not None
+            and not line.replace_locked
+            and self.faults.force_nak()
+        ):
+            self._fault_evict_and_nak(block, line, msg)
+            return
         if exclusive:
             self._send_after_service(
                 CoherenceMessage(
@@ -482,6 +493,14 @@ class CacheController:
             self._nak(msg)
             return
         if (
+            self.faults is not None
+            and line.state in (CacheState.DIRTY, CacheState.MIGRATING)
+            and not line.replace_locked
+            and self.faults.force_nak()
+        ):
+            self._fault_evict_and_nak(block, line, msg)
+            return
+        if (
             line.state is CacheState.MIGRATING
             and not msg.for_write
             and self.policy.nomig_enabled
@@ -529,6 +548,31 @@ class CacheController:
         line.invalidate()
         self._lost_to_inv.add(block)
 
+    def _fault_evict_and_nak(
+        self, block: int, line, msg: CoherenceMessage
+    ) -> None:
+        """Injected fault: behave as if we evicted just before the forward.
+
+        This is exactly the legal writeback-vs-forward race of DESIGN.md
+        §3.1, provoked on demand: write the dirty line back, then NAK the
+        forward so home's re-queue/retry path runs.  Timing changes;
+        coherence does not (the retried request is served from the fresh
+        memory copy once the writeback lands).
+        """
+        self.counters.inc("writebacks")
+        self.wb_buffer[block] = self.wb_buffer.get(block, 0) + 1
+        self._wb_versions[block] = line.version
+        self.checker.release_writable(self.node, block)
+        self.transport.send(
+            CoherenceMessage(
+                src=self.node, dst=self.home_of(block), kind=MsgKind.WB,
+                block=block, requester=self.node,
+                version=line.version, src_is_cache=True,
+            )
+        )
+        line.invalidate()
+        self._nak(msg)
+
     def _nak(self, msg: CoherenceMessage) -> None:
         if self.wb_buffer.get(msg.block, 0) <= 0:
             raise SimulationError(
@@ -553,6 +597,37 @@ class CacheController:
         waiters, self._miack_waiters = self._miack_waiters, []
         for retry in waiters:
             retry()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def introspect(self) -> dict:
+        """Transient state snapshot for diagnostic dumps."""
+        now = self.sim.now
+        return {
+            "node": self.node,
+            "mshrs": [
+                {
+                    "node": self.node,
+                    "block": m.block,
+                    "op": "write" if m.is_write else "read",
+                    "upgrade": m.is_upgrade,
+                    "prefetch": m.is_prefetch,
+                    "data_received": m.data_received,
+                    "acks_expected": m.acks_expected,
+                    "acks_received": m.acks_received,
+                    "miack_needed": m.miack_needed,
+                    "miack_received": m.miack_received,
+                    "waiters": len(m.waiters),
+                    "deferred": len(m.deferred),
+                    "issued_at": m.issued_at,
+                    "age": now - m.issued_at,
+                }
+                for m in self.mshrs.values()
+            ],
+            "writebacks_in_flight": dict(self.wb_buffer),
+            "miack_waiters": len(self._miack_waiters),
+        }
 
     def _on_wack(self, msg: CoherenceMessage) -> None:
         count = self.wb_buffer.get(msg.block, 0)

@@ -37,6 +37,25 @@ class CoherenceChecker:
         self.reads_checked = 0
         self.writes_checked = 0
 
+    def reset(self, *, state: bool = False) -> None:
+        """Restart measurement (StatsMark / back-to-back runs).
+
+        The default clears only the access *counters*, so steady-state
+        statistics count post-warmup accesses without inheriting the
+        warmup tallies; version and single-writer state stay warm because
+        cache lines keep their versions across the mark.
+
+        ``state=True`` additionally forgets all version/writer state —
+        only valid when every cache was flushed too (a genuinely fresh
+        System), otherwise the next access would look like a violation.
+        """
+        self.reads_checked = 0
+        self.writes_checked = 0
+        if state:
+            self.latest.clear()
+            self._seen.clear()
+            self._writer.clear()
+
     # ------------------------------------------------------------------
     # Processor-side hooks
     # ------------------------------------------------------------------

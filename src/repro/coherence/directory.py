@@ -91,6 +91,38 @@ class DirectoryController:
             self.entries[block] = e
         return e
 
+    def introspect(self) -> list:
+        """Transient directory entries (busy / awaiting / queued), for dumps."""
+        out = []
+        for block, e in sorted(self.entries.items()):
+            if not (e.busy or e.awaiting_wb or e.pending):
+                continue
+            inflight = None
+            if e.inflight is not None:
+                msg, demote = e.inflight
+                inflight = {
+                    "kind": msg.kind.value,
+                    "requester": msg.requester,
+                    "demote": demote,
+                }
+            out.append(
+                {
+                    "home": self.node,
+                    "block": block,
+                    "state": e.state.name,
+                    "owner": e.owner,
+                    "sharers": sorted(e.sharers),
+                    "busy": e.busy,
+                    "awaiting_wb": e.awaiting_wb,
+                    "inflight": inflight,
+                    "pending": [
+                        {"kind": m.kind.value, "requester": m.requester}
+                        for m in e.pending
+                    ],
+                }
+            )
+        return out
+
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------

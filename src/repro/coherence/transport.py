@@ -16,7 +16,7 @@ The transport also owns the per-kind traffic accounting used by Table 3.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.coherence.messages import CoherenceMessage, MsgKind
 from repro.memory.bus import LocalBus
@@ -27,7 +27,12 @@ Handler = Callable[[CoherenceMessage], None]
 
 
 class Transport:
-    """Routes coherence messages with bus + mesh timing."""
+    """Routes coherence messages with bus + mesh timing.
+
+    An optional :class:`~repro.faults.plan.FaultPlan` may intercept every
+    injection to add bounded delay or reorder same-source messages; with
+    no plan attached the send path is untouched.
+    """
 
     def __init__(
         self,
@@ -35,6 +40,7 @@ class Transport:
         fabric: Fabric,
         buses: List[LocalBus],
         line_bits: int = 128,
+        faults=None,
     ) -> None:
         self.sim = sim
         self.fabric = fabric
@@ -52,6 +58,12 @@ class Transport:
         #: this is the paper's "network traffic" metric.
         self.network_bits = 0
         self.network_messages = 0
+        #: In-flight census: id(msg) -> (msg, injection time).  A message
+        #: is in flight from ``send`` until its handler dispatch.
+        self._inflight: Dict[int, Tuple[CoherenceMessage, int]] = {}
+        self._faults = faults
+        if faults is not None:
+            faults.bind_transport(self)
         for node in range(fabric.num_nodes):
             fabric.register(node, self._deliver)
 
@@ -68,7 +80,15 @@ class Transport:
     # Sending
     # ------------------------------------------------------------------
     def send(self, msg: CoherenceMessage) -> None:
-        """Inject ``msg`` at the current time."""
+        """Inject ``msg`` at the current time (via the fault plan, if any)."""
+        self._inflight[id(msg)] = (msg, self.sim.now)
+        if self._faults is not None:
+            self._faults.on_send(msg)
+            return
+        self._send_now(msg)
+
+    def _send_now(self, msg: CoherenceMessage) -> None:
+        """Perform the actual bus/mesh injection of ``msg``."""
         if msg.carries_data:
             from repro.network.message import HEADER_BITS
 
@@ -112,6 +132,7 @@ class Transport:
             self.sim.schedule_at(done, lambda: self._dispatch(msg))
 
     def _dispatch(self, msg: CoherenceMessage) -> None:
+        self._inflight.pop(id(msg), None)
         handlers = (
             self._directory_handlers if msg.dst_is_directory else self._cache_handlers
         )
@@ -134,8 +155,33 @@ class Transport:
         return self.count_by_kind.get(kind, 0)
 
     def reset_stats(self) -> None:
-        """Zero the traffic accounting (end-of-warmup stats mark)."""
+        """Zero the traffic accounting (end-of-warmup stats mark).
+
+        The in-flight census is *not* cleared: it tracks liveness, not
+        measurement.
+        """
         self.bits_by_kind.clear()
         self.count_by_kind.clear()
         self.network_bits = 0
         self.network_messages = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def introspect(self) -> List[dict]:
+        """The in-flight message census, oldest first (for diagnostics)."""
+        now = self.sim.now
+        census = [
+            {
+                "kind": msg.kind.value,
+                "src": msg.src,
+                "dst": msg.dst,
+                "block": msg.block,
+                "requester": msg.requester,
+                "sent_at": sent_at,
+                "age": now - sent_at,
+            }
+            for msg, sent_at in self._inflight.values()
+        ]
+        census.sort(key=lambda m: (m["sent_at"], m["src"], m["dst"], m["kind"]))
+        return census

@@ -85,6 +85,10 @@ class Processor:
     # Execution loop
     # ------------------------------------------------------------------
     def _advance(self) -> None:
+        # Reaching here means the previous operation retired: feed the
+        # simulator's progress watchdog (plain store; cheapest possible).
+        sim = self.sim
+        sim.last_progress = sim._now
         try:
             code, arg = next(self._program)
         except StopIteration:
@@ -224,3 +228,14 @@ class Processor:
         """Zero the time accounting (end of warmup)."""
         self.breakdown = StallBreakdown()
         self.references = 0
+
+    def introspect(self) -> dict:
+        """Execution-state snapshot for diagnostic dumps."""
+        return {
+            "node": self.node,
+            "done": self.done,
+            "finished_at": self.finished_at,
+            "references": self.references,
+            "outstanding_writes": self._outstanding,
+            "fence_waiting": self._fence_waiter is not None,
+        }

@@ -25,7 +25,7 @@ class IdealSync:
         self.grant_delay = grant_delay
         self._holders: Dict[int, int] = {}
         self._lock_queues: Dict[int, Deque[Tuple[int, GrantCallback]]] = {}
-        self._barrier_waiters: Dict[int, List[GrantCallback]] = {}
+        self._barrier_waiters: Dict[int, List[Tuple[int, GrantCallback]]] = {}
         self.lock_acquisitions = 0
         self.lock_contended = 0
         self.barriers_completed = 0
@@ -65,14 +65,36 @@ class IdealSync:
     # ------------------------------------------------------------------
     def barrier(self, processor: int, barrier_id: int, released: GrantCallback) -> None:
         waiters = self._barrier_waiters.setdefault(barrier_id, [])
-        waiters.append(released)
+        waiters.append((processor, released))
         if len(waiters) == self.num_processors:
             del self._barrier_waiters[barrier_id]
             self.barriers_completed += 1
-            for callback in waiters:
+            for _node, callback in waiters:
                 self.sim.schedule(self.grant_delay, callback)
         elif len(waiters) > self.num_processors:  # pragma: no cover
             raise SimulationError(f"barrier {barrier_id} over-subscribed")
 
     def waiting_at_barrier(self, barrier_id: int) -> int:
         return len(self._barrier_waiters.get(barrier_id, []))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def introspect(self) -> dict:
+        """Who holds and who waits, for diagnostic dumps."""
+        return {
+            "locks_held": {
+                lock_id: holder
+                for lock_id, holder in self._holders.items()
+                if holder is not None
+            },
+            "lock_waiters": {
+                lock_id: [node for node, _cb in queue]
+                for lock_id, queue in self._lock_queues.items()
+                if queue
+            },
+            "barrier_waiters": {
+                barrier_id: [node for node, _cb in waiters]
+                for barrier_id, waiters in self._barrier_waiters.items()
+            },
+        }

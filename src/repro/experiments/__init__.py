@@ -18,6 +18,11 @@ from repro.experiments.bench import (
     run_bench_suite,
     write_bench,
 )
+from repro.experiments.chaos import (
+    ChaosCell,
+    ChaosReport,
+    run_chaos,
+)
 from repro.experiments.parallel import (
     RunError,
     RunOutcome,
@@ -44,6 +49,9 @@ from repro.experiments.table4 import PAPER_TABLE4, render_table4, run_table4
 
 __all__ = [
     "BENCH_SCHEMA",
+    "ChaosCell",
+    "ChaosReport",
+    "run_chaos",
     "Figure5Row",
     "Figure6Cell",
     "PAPER_ETR",

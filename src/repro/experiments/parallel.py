@@ -90,14 +90,37 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class RunError:
-    """A structured record of one failed run."""
+    """A structured record of one failed run.
+
+    Carries everything needed to triage a failure without re-running it:
+    the exception type and message, the worker-side traceback, the sweep
+    coordinates (workload/policy/seed) of the failing spec, and — when
+    the exception was a :class:`~repro.sim.engine.SimulationError` with
+    an attached :class:`~repro.faults.diagnostics.DiagnosticDump` — the
+    dump itself as a JSON-compatible dict (dataclass fields must pickle
+    cleanly across the process boundary, hence the dict form; rebuild
+    with :meth:`diagnostic_dump`).
+    """
 
     exc_type: str
     message: str
     traceback: str
+    workload: str = ""
+    policy: str = ""
+    seed: int = 0
+    dump: Optional[dict] = None
 
     def __str__(self) -> str:
-        return f"{self.exc_type}: {self.message}"
+        where = f" [{self.workload}/{self.policy} seed={self.seed}]" if self.workload else ""
+        return f"{self.exc_type}{where}: {self.message}"
+
+    def diagnostic_dump(self):
+        """The attached DiagnosticDump, rebuilt from its dict form (or None)."""
+        if self.dump is None:
+            return None
+        from repro.faults.diagnostics import DiagnosticDump
+
+        return DiagnosticDump.from_json(self.dump)
 
 
 @dataclass
@@ -143,12 +166,17 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
             **dict(spec.overrides),
         )
     except Exception as exc:  # noqa: BLE001 - the pool must survive any run
+        dump = getattr(exc, "dump", None)
         return RunOutcome(
             spec=spec,
             error=RunError(
                 exc_type=type(exc).__name__,
                 message=str(exc),
                 traceback=traceback.format_exc(),
+                workload=spec.workload,
+                policy=spec.policy.name,
+                seed=spec.seed,
+                dump=dump.to_json() if dump is not None else None,
             ),
             wall_time=time.perf_counter() - start,
         )

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
 from repro.core.policy import ProtocolPolicy
+from repro.faults.plan import FaultConfig
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,14 @@ class MachineConfig:
     #: (read back via ``machine.block_profiler``).
     profile_blocks: bool = False
     max_events: Optional[int] = None
+    #: Deterministic fault injection (None = pristine machine; the fault
+    #: hooks are inert no-ops and results are byte-identical to a build
+    #: without them).
+    faults: Optional[FaultConfig] = None
+    #: Progress watchdog: raise LivelockError with a diagnostic dump if
+    #: no processor retires an operation for this many pclocks while
+    #: events keep firing (None = disabled).
+    watchdog_window: Optional[int] = None
 
     @property
     def num_nodes(self) -> int:

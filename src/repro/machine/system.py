@@ -19,6 +19,8 @@ from repro.coherence.transport import Transport
 from repro.cpu.ops import Op
 from repro.cpu.processor import Processor
 from repro.cpu.sync import IdealSync
+from repro.faults.diagnostics import DiagnosticDump, dump_machine
+from repro.faults.plan import FaultPlan
 from repro.machine.allocator import PagePlacement
 from repro.machine.config import MachineConfig
 from repro.memory.bus import LocalBus
@@ -60,7 +62,17 @@ class Machine:
     def __init__(self, config: Optional[MachineConfig] = None) -> None:
         self.config = config or MachineConfig()
         cfg = self.config
-        self.sim = Simulator(max_events=cfg.max_events)
+        self.sim = Simulator(
+            max_events=cfg.max_events, watchdog_window=cfg.watchdog_window
+        )
+        self.sim.on_stall = lambda: self.diagnostic_dump("livelock")
+        self.counters = Counters()
+        #: Deterministic fault injector (None on the pristine default path).
+        self.fault_plan = (
+            FaultPlan(cfg.faults, counters=self.counters)
+            if cfg.faults is not None and cfg.faults.active
+            else None
+        )
         self.fabric = Fabric(
             self.sim,
             cfg.mesh_width,
@@ -83,9 +95,9 @@ class Machine:
             for n in range(cfg.num_nodes)
         ]
         self.transport = Transport(
-            self.sim, self.fabric, self.buses, line_bits=cfg.line_size * 8
+            self.sim, self.fabric, self.buses, line_bits=cfg.line_size * 8,
+            faults=self.fault_plan,
         )
-        self.counters = Counters()
         self.checker = CoherenceChecker(enabled=cfg.check_coherence)
         self.block_profiler = BlockProfiler() if cfg.profile_blocks else None
         self.memories = [
@@ -98,6 +110,10 @@ class Machine:
             )
             for n in range(cfg.num_nodes)
         ]
+        if self.fault_plan is not None:
+            for n in range(cfg.num_nodes):
+                self.buses[n].slowdown = self.fault_plan.bus_slowdown(n)
+                self.memories[n].slowdown = self.fault_plan.memory_slowdown(n)
         self.directories = [
             DirectoryController(
                 n, self.sim, self.transport, self.memories[n], cfg.policy,
@@ -116,6 +132,7 @@ class Machine:
                 self.checker,
                 self.counters,
                 service_delay=cfg.cache_service_delay,
+                faults=self.fault_plan,
             )
             for n in range(cfg.num_nodes)
         ]
@@ -149,11 +166,18 @@ class Machine:
         self.sim.run()
         unfinished = [p.node for p in self.processors if not p.done]
         if unfinished:
+            dump = self.diagnostic_dump("deadlock")
             raise DeadlockError(
                 f"event queue drained but processors {unfinished} never "
-                "finished (protocol or synchronization deadlock)"
+                "finished (protocol or synchronization deadlock)\n"
+                + dump.render(),
+                dump=dump,
             )
         return self._result()
+
+    def diagnostic_dump(self, reason: str = "inspect") -> DiagnosticDump:
+        """Structured snapshot of all transient machine state."""
+        return dump_machine(self, reason)
 
     # ------------------------------------------------------------------
     # Steady-state measurement (StatsMark)
@@ -177,6 +201,7 @@ class Machine:
         """
         self._mark_time = self.sim.now
         self.counters.clear()
+        self.checker.reset()
         self.transport.reset_stats()
         self.fabric.reset_stats()
         for processor in self.processors:

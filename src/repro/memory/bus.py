@@ -36,6 +36,9 @@ class LocalBus:
 
         self.resource = InfiniteResource(name) if infinite_bandwidth else Resource(name)
         self.transactions = 0
+        #: Occupancy multiplier (>= 1); fault plans slow whole nodes down
+        #: by raising this.
+        self.slowdown = 1
 
     def beats_for(self, bits: int) -> int:
         """Number of bus beats for a payload of ``bits`` (at least one)."""
@@ -50,6 +53,8 @@ class LocalBus:
         as requests); the slot is arbitration plus one transfer per beat.
         """
         duration = self.arbitration + self.transfer * self.beats_for(bits)
+        if self.slowdown != 1:
+            duration *= self.slowdown
         start = self.resource.reserve(earliest, duration)
         self.transactions += 1
         return start + duration

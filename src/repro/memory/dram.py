@@ -32,18 +32,27 @@ class MemoryModule:
         self.resource = InfiniteResource(name) if infinite_bandwidth else Resource(name)
         self.accesses = 0
         self.directory_lookups = 0
+        #: Occupancy multiplier (>= 1); fault plans slow whole nodes down
+        #: by raising this.
+        self.slowdown = 1
 
     def access(self, earliest: int) -> int:
         """Full data-array access (read line or write line); returns end time."""
-        start = self.resource.reserve(earliest, self.cycle)
+        cycle = self.cycle if self.slowdown == 1 else self.cycle * self.slowdown
+        start = self.resource.reserve(earliest, cycle)
         self.accesses += 1
-        return start + self.cycle
+        return start + cycle
 
     def directory_access(self, earliest: int) -> int:
         """Directory-only lookup/update; returns end time."""
-        start = self.resource.reserve(earliest, self.directory_cycle)
+        cycle = (
+            self.directory_cycle
+            if self.slowdown == 1
+            else self.directory_cycle * self.slowdown
+        )
+        start = self.resource.reserve(earliest, cycle)
         self.directory_lookups += 1
-        return start + self.directory_cycle
+        return start + cycle
 
     def utilization(self, elapsed: int) -> float:
         return self.resource.utilization(elapsed)

@@ -12,15 +12,30 @@ simulations fully deterministic for a given workload seed.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
-    """Raised when the simulation reaches an inconsistent state."""
+    """Raised when the simulation reaches an inconsistent state.
+
+    ``dump`` optionally carries a structured
+    :class:`~repro.faults.diagnostics.DiagnosticDump` describing the
+    machine state at the moment of failure.
+    """
+
+    def __init__(self, message: str = "", dump: Optional[Any] = None) -> None:
+        super().__init__(message)
+        self.dump = dump
 
 
 class DeadlockError(SimulationError):
     """Raised when the event queue drains while processors are still blocked."""
+
+
+class LivelockError(SimulationError):
+    """Raised by the progress watchdog: events keep firing but no
+    processor has retired an operation within the configured window
+    (e.g. an unbounded NAK retry storm)."""
 
 
 class Simulator:
@@ -34,9 +49,23 @@ class Simulator:
     [5]
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_running", "max_events", "events_processed")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_running",
+        "max_events",
+        "events_processed",
+        "last_progress",
+        "watchdog_window",
+        "on_stall",
+    )
 
-    def __init__(self, max_events: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        watchdog_window: Optional[int] = None,
+    ) -> None:
         self._now: int = 0
         self._queue: List[Tuple[int, int, Callable[[], None]]] = []
         self._seq: int = 0
@@ -44,6 +73,16 @@ class Simulator:
         #: Safety valve against livelock (e.g. unbounded NAK retry storms).
         self.max_events = max_events
         self.events_processed: int = 0
+        #: Timestamp of the last forward-progress notification (processor
+        #: op retirement); fed by :meth:`note_progress`.
+        self.last_progress: int = 0
+        #: Progress watchdog: if events keep firing but ``last_progress``
+        #: falls more than this many pclocks behind ``now``, raise
+        #: :class:`LivelockError`.  ``None`` disables the watchdog.
+        self.watchdog_window = watchdog_window
+        #: Optional zero-argument callable returning a diagnostic dump,
+        #: invoked when the watchdog or the max_events valve trips.
+        self.on_stall: Optional[Callable[[], Any]] = None
 
     @property
     def now(self) -> int:
@@ -100,11 +139,33 @@ class Simulator:
         callback()
         return True
 
+    def note_progress(self) -> None:
+        """Record forward progress (a processor retired an operation)."""
+        self.last_progress = self._now
+
+    def _stall_dump(self) -> Optional[Any]:
+        return self.on_stall() if self.on_stall is not None else None
+
     def _count_event(self) -> None:
-        """Count one processed event, enforcing the livelock safety valve."""
+        """Count one processed event, enforcing the livelock safety valves."""
         self.events_processed += 1
         if self.max_events is not None and self.events_processed > self.max_events:
             raise SimulationError(
                 f"exceeded max_events={self.max_events}; "
-                "likely a protocol livelock"
+                "likely a protocol livelock",
+                dump=self._stall_dump(),
             )
+        if (
+            self.watchdog_window is not None
+            and self._now - self.last_progress > self.watchdog_window
+        ):
+            dump = self._stall_dump()
+            message = (
+                f"progress watchdog: no processor retired an operation for "
+                f"{self._now - self.last_progress} pclocks "
+                f"(window {self.watchdog_window}, last progress at "
+                f"t={self.last_progress}, now t={self._now})"
+            )
+            if dump is not None:
+                message += "\n" + dump.render()
+            raise LivelockError(message, dump=dump)

@@ -16,6 +16,7 @@ from repro.core.policy import ProtocolPolicy
 from repro.cpu.ops import Op
 from repro.cpu.processor import Processor
 from repro.cpu.sync import IdealSync
+from repro.faults.diagnostics import DiagnosticDump, dump_snoopy
 from repro.memory.cache import CacheArray
 from repro.sim.engine import DeadlockError, Simulator
 from repro.snoopy.bus import BusTiming, SnoopBus
@@ -39,6 +40,9 @@ class SnoopyConfig:
     #: "update" (Dragon-style write-update — the contrast baseline).
     protocol: str = "invalidate"
     check_coherence: bool = True
+    #: Progress watchdog window in pclocks (None = disabled); see
+    #: :class:`~repro.machine.config.MachineConfig.watchdog_window`.
+    watchdog_window: Optional[int] = None
 
 
 @dataclass
@@ -64,7 +68,8 @@ class SnoopyMachine:
     def __init__(self, config: Optional[SnoopyConfig] = None) -> None:
         self.config = config or SnoopyConfig()
         cfg = self.config
-        self.sim = Simulator()
+        self.sim = Simulator(watchdog_window=cfg.watchdog_window)
+        self.sim.on_stall = lambda: self.diagnostic_dump("livelock")
         self.counters = Counters()
         self.checker = CoherenceChecker(enabled=cfg.check_coherence)
         self.bus = SnoopBus(self.sim, cfg.bus_timing)
@@ -103,7 +108,13 @@ class SnoopyMachine:
         self.sim.run()
         unfinished = [p.node for p in self.processors if not p.done]
         if unfinished:
-            raise DeadlockError(f"processors {unfinished} never finished")
+            dump = self.diagnostic_dump("deadlock")
+            raise DeadlockError(
+                f"event queue drained but processors {unfinished} never "
+                "finished (protocol or synchronization deadlock)\n"
+                + dump.render(),
+                dump=dump,
+            )
         execution_time = max(p.finished_at for p in self.processors)
         return SnoopyRunResult(
             execution_time=execution_time,
@@ -113,3 +124,7 @@ class SnoopyMachine:
             bus_bits=self.bus.bits,
             bus_utilization=self.bus.utilization(max(1, execution_time)),
         )
+
+    def diagnostic_dump(self, reason: str = "inspect") -> DiagnosticDump:
+        """Structured snapshot of all transient machine state."""
+        return dump_snoopy(self, reason)

@@ -62,6 +62,31 @@ def test_release_by_non_holder_detected():
         c.release_writable(1, 7)
 
 
+def test_reset_clears_counters_but_keeps_state():
+    c = CoherenceChecker()
+    c.on_write(0, 5, 0)
+    c.on_read(1, 5, 1)
+    c.acquire_writable(0, 7)
+    assert (c.reads_checked, c.writes_checked) == (1, 1)
+    c.reset()
+    assert (c.reads_checked, c.writes_checked) == (0, 0)
+    # Version and single-writer state stay warm: the invariants still fire.
+    with pytest.raises(CoherenceViolation, match="lost update"):
+        c.on_write(1, 5, 0)
+    with pytest.raises(CoherenceViolation, match="writable"):
+        c.acquire_writable(1, 7)
+
+
+def test_reset_with_state_forgets_everything():
+    c = CoherenceChecker()
+    c.on_write(0, 5, 0)
+    c.acquire_writable(0, 7)
+    c.reset(state=True)
+    assert c.latest == {}
+    c.on_write(1, 5, 0)  # fresh history: version restarts at 1
+    c.acquire_writable(1, 7)  # writer table cleared too
+
+
 def test_disabled_checker_still_hands_out_versions():
     c = CoherenceChecker(enabled=False)
     assert c.on_write(0, 5, 0) == 1

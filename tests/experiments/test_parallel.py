@@ -90,6 +90,34 @@ def test_failed_run_is_captured_not_fatal():
         failed.unwrap()
 
 
+def test_run_error_carries_coordinates_and_dump_across_processes():
+    """A livelocked run in a worker process must come back with its sweep
+    coordinates and the full diagnostic dump, not just a string."""
+    from repro.machine.config import MachineConfig
+
+    spec = RunSpec.make(
+        "migratory-counters",
+        ProtocolPolicy.adaptive_default(),
+        preset="tiny",
+        # A zero-width watchdog window trips on the first event that
+        # fires after t=0 with no retirement — a guaranteed LivelockError.
+        config=MachineConfig.dash_default(watchdog_window=0),
+        seed=5,
+    )
+    outcomes = run_many([spec, spec], workers=2)  # force the process pool
+    for outcome in outcomes:
+        assert not outcome.ok
+        err = outcome.error
+        assert err.exc_type == "LivelockError"
+        assert err.workload == "migratory-counters"
+        assert err.policy == "AD"
+        assert err.seed == 5
+        assert "migratory-counters/AD seed=5" in str(err)
+        dump = err.diagnostic_dump()
+        assert dump is not None and dump.reason == "livelock"
+        json.dumps(err.dump)  # the wire form is pure JSON
+
+
 def test_run_many_empty_and_serial_fallback():
     assert run_many([], workers=8) == []
     [only] = run_many([tiny_specs()[0]], workers=8)  # single spec runs inline
