@@ -7,6 +7,8 @@ Examples::
     repro-sim table1
     repro-sim report --preset default --workers 4
     repro-sim bench --quick
+    repro-sim profile mp3d --protocol AD --top 20 --output profile.json
+    repro-sim sharing migratory-counters
     repro-sim chaos mp3d --intensities 0,0.5 --preset tiny
     repro-sim list
 """
@@ -106,6 +108,30 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one workload under cProfile and print the hotspot table."""
+    from repro.experiments.profiling import (
+        profile_run,
+        render_profile_doc,
+        write_profile,
+    )
+
+    doc = profile_run(
+        args.workload,
+        _policy_by_name(args.protocol),
+        preset=args.preset,
+        consistency=model_by_name(args.consistency),
+        check_coherence=not args.no_check,
+        top=args.top,
+        sort=args.sort,
+    )
+    print(render_profile_doc(doc))
+    if args.output:
+        target = write_profile(doc, args.output)
+        print(f"\nwrote {target}")
+    return 0
+
+
+def _cmd_sharing(args: argparse.Namespace) -> int:
     """Per-block sharing-pattern census + invalidation histogram."""
     from repro.machine.config import MachineConfig
     from repro.machine.system import Machine
@@ -153,6 +179,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf bench suite and write a BENCH_<date>.json snapshot."""
     from repro.experiments.bench import (
+        compare_bench_results,
         diff_bench,
         load_bench,
         render_bench,
@@ -160,16 +187,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    # Load the baseline *before* running: the default output path is
+    # BENCH_<today>.json, which can collide with --against on the day a
+    # baseline was captured — writing first would gate new-vs-new.
+    baseline = load_bench(args.against) if args.against else None
     doc = run_bench_suite(
         preset="tiny" if args.quick else args.preset, workers=args.workers
     )
     print(render_bench(doc))
     target = write_bench(doc, path=args.output)
     print(f"\nwrote {target}")
-    if args.against:
+    ok = doc["parallel_matches_serial"]
+    if baseline is not None:
         print()
-        print(diff_bench(load_bench(args.against), doc))
-    return 0 if doc["parallel_matches_serial"] else 1
+        print(diff_bench(baseline, doc))
+        # Soft gate: timing deltas above only inform; *simulation results*
+        # (execution times, event counts, counters) must match exactly.
+        mismatches = compare_bench_results(baseline, doc)
+        if mismatches:
+            ok = False
+            print(f"\nRESULT MISMATCH vs {args.against}:")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print(f"\nsimulation results identical to {args.against}")
+    return 0 if ok else 1
 
 
 def _cmd_bus(args: argparse.Namespace) -> int:
@@ -274,14 +316,32 @@ def build_parser() -> argparse.ArgumentParser:
     t1_p.set_defaults(func=_cmd_table1)
 
     prof_p = sub.add_parser(
-        "profile", help="classify blocks by sharing pattern (Gupta-Weber)"
+        "profile",
+        help="run one workload under cProfile and print the hotspot table",
     )
     prof_p.add_argument("workload", choices=sorted(WORKLOADS))
-    prof_p.add_argument("--protocol", default="W-I")
+    prof_p.add_argument("--protocol", default="AD")
     prof_p.add_argument("--consistency", default="SC")
-    prof_p.add_argument("--preset", default="default")
+    prof_p.add_argument("--preset", default="tiny")
     prof_p.add_argument("--no-check", action="store_true")
+    prof_p.add_argument("--top", type=int, default=25,
+                        help="number of hotspot rows to print (default 25)")
+    prof_p.add_argument("--sort", default="tottime",
+                        choices=("tottime", "cumtime", "calls"),
+                        help="hotspot ordering (default tottime)")
+    prof_p.add_argument("--output", default=None, metavar="PROFILE_JSON",
+                        help="also write the profile as a JSON artifact")
     prof_p.set_defaults(func=_cmd_profile)
+
+    sharing_p = sub.add_parser(
+        "sharing", help="classify blocks by sharing pattern (Gupta-Weber)"
+    )
+    sharing_p.add_argument("workload", choices=sorted(WORKLOADS))
+    sharing_p.add_argument("--protocol", default="W-I")
+    sharing_p.add_argument("--consistency", default="SC")
+    sharing_p.add_argument("--preset", default="default")
+    sharing_p.add_argument("--no-check", action="store_true")
+    sharing_p.set_defaults(func=_cmd_sharing)
 
     verify_p = sub.add_parser("verify", help="exhaustively model-check the protocol")
     verify_p.add_argument("--protocol", default="AD")

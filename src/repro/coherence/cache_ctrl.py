@@ -102,6 +102,21 @@ class CacheController:
         self.policy = policy
         self.checker = checker
         self.counters = counters
+        # Pre-resolved integer-slot counter handles (hot path: no string
+        # hashing per processor reference).
+        self._c_read_hits = counters.handle("read_hits")
+        self._c_read_misses = counters.handle("read_misses")
+        self._c_write_hits = counters.handle("write_hits")
+        self._c_write_misses = counters.handle("write_misses")
+        self._c_write_upgrades = counters.handle("write_upgrades")
+        self._c_migrating_promotions = counters.handle("migrating_promotions")
+        self._c_prefetches_issued = counters.handle("prefetches_issued")
+        self._c_cold_misses = counters.handle("cold_misses")
+        self._c_coherence_misses = counters.handle("coherence_misses")
+        self._c_replacement_misses = counters.handle("replacement_misses")
+        self._c_writebacks = counters.handle("writebacks")
+        self._c_evictions_clean = counters.handle("evictions_clean")
+        self._c_iacks_sent = counters.handle("iacks_sent")
         #: Tag check + data-array read time when servicing a forward.
         self.service_delay = service_delay
         #: Optional :class:`~repro.faults.plan.FaultPlan` consulted when a
@@ -135,12 +150,12 @@ class CacheController:
         line = self.cache.lookup(block)
         if line is not None:
             self.cache.touch(line)
-            self.counters.inc("read_hits")
+            self._c_read_hits.inc()
             self.checker.on_read(self.node, block, line.version)
             self.last_read_version = line.version
             done()
             return
-        self.counters.inc("read_misses")
+        self._c_read_misses.inc()
         self._classify_miss(block)
         self._start_miss(block, is_write=False, is_upgrade=False, done=done)
 
@@ -156,18 +171,18 @@ class CacheController:
             if line.state is CacheState.MIGRATING:
                 # The adaptive protocol's payoff: the write that would have
                 # been a read-exclusive request happens entirely locally.
-                self.counters.inc("migrating_promotions")
+                self._c_migrating_promotions.inc()
                 line.state = CacheState.DIRTY
             self.cache.touch(line)
-            self.counters.inc("write_hits")
+            self._c_write_hits.inc()
             line.version = self.checker.on_write(self.node, block, line.version)
             done()
             return
         if line is not None:  # Shared: upgrade.
-            self.counters.inc("write_upgrades")
+            self._c_write_upgrades.inc()
             self._start_miss(block, is_write=True, is_upgrade=True, done=done)
             return
-        self.counters.inc("write_misses")
+        self._c_write_misses.inc()
         self._classify_miss(block)
         self._start_miss(block, is_write=True, is_upgrade=False, done=done)
 
@@ -184,7 +199,7 @@ class CacheController:
         line = self.cache.lookup(block)
         if line is not None and line.state in (CacheState.DIRTY, CacheState.MIGRATING):
             return False
-        self.counters.inc("prefetches_issued")
+        self._c_prefetches_issued.inc()
         is_upgrade = line is not None
         mshr = MSHR(block, True, is_upgrade, self.sim.now)
         mshr.is_prefetch = True
@@ -221,11 +236,11 @@ class CacheController:
     def _classify_miss(self, block: int) -> None:
         if block not in self._seen:
             self._seen.add(block)
-            self.counters.inc("cold_misses")
+            self._c_cold_misses.inc()
         elif block in self._lost_to_inv:
-            self.counters.inc("coherence_misses")
+            self._c_coherence_misses.inc()
         else:
-            self.counters.inc("replacement_misses")
+            self._c_replacement_misses.inc()
         self._lost_to_inv.discard(block)
 
     def _ensure_frame(self, block: int) -> bool:
@@ -237,7 +252,7 @@ class CacheController:
             return False
         victim_block = self.cache.block_from(victim.tag, self.cache.set_index(block))
         if victim.state in (CacheState.DIRTY, CacheState.MIGRATING):
-            self.counters.inc("writebacks")
+            self._c_writebacks.inc()
             self.wb_buffer[victim_block] = self.wb_buffer.get(victim_block, 0) + 1
             self._wb_versions[victim_block] = victim.version
             self.checker.release_writable(self.node, victim_block)
@@ -249,7 +264,7 @@ class CacheController:
                 )
             )
         else:
-            self.counters.inc("evictions_clean")
+            self._c_evictions_clean.inc()
         victim.invalidate()
         return True
 
@@ -386,7 +401,12 @@ class CacheController:
             else:
                 self.write(block * self.cache.line_bytes, callback)
         for fwd in deferred:
+            # The MSHR owned this forward; handling may re-defer it onto a
+            # new MSHR (re-retaining it), otherwise recycle it.
+            fwd.retained = False
             self.handle(fwd)
+            if not fwd.retained:
+                fwd.release()
 
     # ------------------------------------------------------------------
     # External requests
@@ -408,7 +428,7 @@ class CacheController:
             mshr.invalidate_on_fill = True
         # Acknowledge straight to the writing requester (never deferred:
         # deferring an Iack behind our own miss could deadlock).
-        self.counters.inc("iacks_sent")
+        self._c_iacks_sent.inc()
         self.transport.send(
             CoherenceMessage(
                 src=self.node, dst=msg.requester, kind=MsgKind.IACK,
@@ -427,6 +447,7 @@ class CacheController:
             return
         mshr = self.mshrs.get(block)
         if mshr is not None:
+            msg.retained = True
             mshr.deferred.append(msg)
             return
         line = self.cache.lookup(block)
@@ -486,6 +507,7 @@ class CacheController:
             return
         mshr = self.mshrs.get(block)
         if mshr is not None:
+            msg.retained = True
             mshr.deferred.append(msg)
             return
         line = self.cache.lookup(block)
@@ -559,7 +581,7 @@ class CacheController:
         coherence does not (the retried request is served from the fresh
         memory copy once the writeback lands).
         """
-        self.counters.inc("writebacks")
+        self._c_writebacks.inc()
         self.wb_buffer[block] = self.wb_buffer.get(block, 0) + 1
         self._wb_versions[block] = line.version
         self.checker.release_writable(self.node, block)

@@ -78,6 +78,21 @@ class DirectoryController:
         self.memory = memory
         self.policy = policy
         self.counters = counters
+        # Pre-resolved integer-slot counter handles (hot path: no string
+        # hashing per home transaction).
+        self._c_rr_received = counters.handle("rr_received")
+        self._c_rxq_received = counters.handle("rxq_received")
+        self._c_migratory_reads = counters.handle("migratory_reads")
+        self._c_nominations = counters.handle("nominations")
+        self._c_invalidations_sent = counters.handle("invalidations_sent")
+        self._c_rxq_demotions = counters.handle("rxq_demotions")
+        self._c_nomig_reverts = counters.handle("nomig_reverts")
+        self._c_naks = counters.handle("naks")
+        self._c_writebacks_received = counters.handle("writebacks_received")
+        #: Gupta-Weber invalidation histogram, one handle per bucket (0-4).
+        self._c_inval_dist = [
+            counters.handle(f"inval_dist_{bucket}") for bucket in range(5)
+        ]
         #: Optional per-block sharing profiler
         #: (:class:`repro.stats.block_profile.BlockProfiler`).
         self.profiler = profiler
@@ -130,14 +145,16 @@ class DirectoryController:
         e = self.entry(msg.block)
         kind = msg.kind
         if kind is MsgKind.RR:
-            self.counters.inc("rr_received")
+            self._c_rr_received.inc()
             if e.busy:
+                msg.retained = True
                 e.pending.append(msg)
             else:
                 self._process(e, msg)
         elif kind is MsgKind.RXQ:
-            self.counters.inc("rxq_received")
+            self._c_rxq_received.inc()
             if e.busy:
+                msg.retained = True
                 e.pending.append(msg)
             else:
                 self._process(e, msg)
@@ -211,7 +228,7 @@ class DirectoryController:
             if e.owner == i:
                 self._wait_for_writeback(e, msg)
             else:
-                self.counters.inc("migratory_reads")
+                self._c_migratory_reads.inc()
                 self._forward(e, msg, MsgKind.MR, demote=False, for_write=False)
         else:  # pragma: no cover - exhaustive
             raise SimulationError(f"bad state {e.state} for {msg!r}")
@@ -234,7 +251,7 @@ class DirectoryController:
             )
             done = self.memory.access(self.sim.now)
             if nominate:
-                self.counters.inc("nominations")
+                self._c_nominations.inc()
                 e.state = DirState.MIGRATORY_DIRTY
             else:
                 e.state = DirState.DIRTY_REMOTE
@@ -244,7 +261,7 @@ class DirectoryController:
             self._record_inval_count(len(others), block, i)
             self._send_rxp(done, i, block, n_invals=len(others), version=e.version)
             for sharer in others:
-                self.counters.inc("invalidations_sent")
+                self._c_invalidations_sent.inc()
                 self._send_at(
                     done,
                     CoherenceMessage(
@@ -269,13 +286,13 @@ class DirectoryController:
                 # ownership; the heuristic demotes it to Dirty-Remote.
                 demote = self.policy.rxq_reverts_to_ordinary
                 if demote:
-                    self.counters.inc("rxq_demotions")
-                self.counters.inc("migratory_reads")
+                    self._c_rxq_demotions.inc()
+                self._c_migratory_reads.inc()
                 self._forward(e, msg, MsgKind.MR, demote=demote, for_write=True)
         elif e.state is DirState.MIGRATORY_UNCACHED:
             done = self.memory.access(self.sim.now)
             if self.policy.rxq_reverts_to_ordinary:
-                self.counters.inc("rxq_demotions")
+                self._c_rxq_demotions.inc()
                 e.state = DirState.DIRTY_REMOTE
                 e.lw.record_write(i)
             else:
@@ -351,7 +368,7 @@ class DirectoryController:
         ordinary Shared-Remote and detection state is reset.
         """
         self._check_inflight(e, msg)
-        self.counters.inc("nomig_reverts")
+        self._c_nomig_reverts.inc()
         e.state = DirState.SHARED_REMOTE
         e.version = msg.version
         e.sharers = {msg.src, msg.requester}
@@ -361,7 +378,7 @@ class DirectoryController:
 
     def _on_nak(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
         """The forward missed: the owner's writeback is in flight."""
-        self.counters.inc("naks")
+        self._c_naks.inc()
         inflight_msg, _demote = self._check_inflight(e, msg)
         e.inflight = None
         e.pending.appendleft(inflight_msg)
@@ -379,7 +396,7 @@ class DirectoryController:
                 f"writeback for block {msg.block} from node {msg.src}, "
                 f"but directory owner is {e.owner} (state {e.state})"
             )
-        self.counters.inc("writebacks_received")
+        self._c_writebacks_received.inc()
         done = self.memory.access(self.sim.now)
         if e.state is DirState.DIRTY_REMOTE:
             e.state = DirState.UNCACHED
@@ -416,6 +433,7 @@ class DirectoryController:
         for_write: bool = False,
     ) -> None:
         e.busy = True
+        msg.retained = True
         e.inflight = (msg, demote)
         done = self.memory.directory_access(self.sim.now)
         self._send_at(
@@ -432,6 +450,7 @@ class DirectoryController:
         e.busy = True
         e.awaiting_wb = True
         e.inflight = None
+        msg.retained = True
         e.pending.appendleft(msg)
 
     def _check_inflight(
@@ -450,12 +469,22 @@ class DirectoryController:
 
     def _complete(self, e: DirectoryEntry) -> None:
         e.busy = False
-        e.inflight = None
+        if e.inflight is not None:
+            done = e.inflight[0]
+            e.inflight = None
+            done.retained = False
+            done.release()
         self._drain(e)
 
     def _drain(self, e: DirectoryEntry) -> None:
         while e.pending and not e.busy:
-            self._process(e, e.pending.popleft())
+            msg = e.pending.popleft()
+            # The queue owned this message; _process re-retains it if the
+            # transaction forwards (or re-queues), otherwise recycle it.
+            msg.retained = False
+            self._process(e, msg)
+            if not msg.retained:
+                msg.release()
 
     def _record_inval_count(
         self, count: int, block: Optional[int] = None, requester: Optional[int] = None
@@ -468,7 +497,7 @@ class DirectoryController:
         bucket.
         """
         bucket = count if count < 4 else 4
-        self.counters.inc(f"inval_dist_{bucket}")
+        self._c_inval_dist[bucket].inc()
         if self.profiler is not None and block is not None:
             self.profiler.on_write(block, requester, count)
 

@@ -21,15 +21,31 @@ reach a cache which has already written the block back.
 
 Sizes follow the paper's Section 5.2 accounting: a 40-bit header on every
 message, plus 128 bits on data-carrying ones.
+
+Hot-path layout
+---------------
+
+Per-kind facts (size, data payload, directory-vs-cache destination, which
+mesh) are precomputed once onto the :class:`MsgKind` members themselves
+(``kind.bits``, ``kind.carries_data``, ``kind.to_directory``, ``kind.net``,
+``kind.index``) so the send/deliver path never hashes an enum into a
+frozenset.  :class:`CoherenceMessage` is a ``__slots__`` class with a
+free-list pool: the transport recycles a message once its handler has
+consumed it (see ``retained`` below), so steady-state simulation allocates
+almost no message objects.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from repro.network.message import DATA_BITS, HEADER_BITS, NetworkMessage
+
+#: Mesh names (mirrored by repro.network.interface, which re-exports them;
+#: defined here to keep this module import-light on the hot path).
+REQUEST_NET = "request"
+REPLY_NET = "reply"
 
 
 class MsgKind(enum.Enum):
@@ -96,49 +112,118 @@ REPLY_NET_KINDS = frozenset(
     }
 )
 
+#: Number of message kinds (for kind-indexed accounting arrays).
+NUM_KINDS = len(MsgKind)
+
+#: Kinds ordered by ``kind.index`` (the definition order).
+KINDS_BY_INDEX = tuple(MsgKind)
+
+# Precompute per-kind facts as plain attributes on the enum members: the
+# transport and mesh read ``kind.bits`` / ``kind.carries_data`` /
+# ``kind.to_directory`` / ``kind.net`` with attribute loads instead of
+# hashing the member into a frozenset on every message.
+for _i, _kind in enumerate(MsgKind):
+    _kind.index = _i
+    _kind.carries_data = _kind in DATA_KINDS
+    _kind.to_directory = _kind in DIRECTORY_KINDS
+    _kind.net = REPLY_NET if _kind in REPLY_NET_KINDS else REQUEST_NET
+    _kind.bits = HEADER_BITS + (DATA_BITS if _kind in DATA_KINDS else 0)
+del _i, _kind
+
 
 def message_bits(kind: MsgKind) -> int:
     """Size in bits of a message of ``kind`` (paper Section 5.2)."""
-    return HEADER_BITS + (DATA_BITS if kind in DATA_KINDS else 0)
+    return kind.bits
 
 
-@dataclass
 class CoherenceMessage(NetworkMessage):
-    """A protocol message; ``src``/``dst`` are node ids."""
+    """A protocol message; ``src``/``dst`` are node ids.
 
-    kind: MsgKind = MsgKind.RR
-    #: Line-aligned block address the message concerns.
-    block: int = 0
-    #: Node id of the original requester (for forwards/acks routed via home).
-    requester: int = 0
-    #: Data version carried by data messages (coherence checking).
-    version: int = 0
-    #: For RXP: number of invalidation acks the requester must collect.
-    n_invals: int = 0
-    #: For MR: the requester's access is a write (suppresses NoMig revert).
-    for_write: bool = False
-    #: For MACK: whether the requester must hold the line unreplaceable
-    #: until home's MIack arrives (False when home itself supplied the data).
-    miack_needed: bool = True
-    #: True when the sending endpoint is a cache (affects local-bus timing).
-    src_is_cache: bool = True
+    Pooling contract: messages are created with the normal constructor
+    (which transparently reuses a free-listed instance when one exists)
+    and returned to the pool by :meth:`release`.  Code that stores a
+    message past the handler that received it — directory pending queues,
+    in-flight transaction latches, MSHR deferred lists — must set
+    ``retained = True`` so the transport's dispatch loop leaves it alive;
+    whoever later consumes the message clears the flag and releases it.
+    """
 
-    def __post_init__(self) -> None:
-        self.bits = message_bits(self.kind)
+    __slots__ = (
+        "kind",
+        "block",
+        "requester",
+        "version",
+        "n_invals",
+        "for_write",
+        "miack_needed",
+        "src_is_cache",
+        "retained",
+    )
+
+    #: Free list of recycled instances (class-level, bounded).
+    _free: List["CoherenceMessage"] = []
+    _MAX_FREE = 1024
+
+    def __new__(cls, *args, **kwargs):
+        if cls is CoherenceMessage:
+            free = cls._free
+            if free:
+                return free.pop()
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        src: int = 0,
+        dst: int = 0,
+        bits: int = 0,  # ignored: derived from kind
+        uid: Optional[int] = None,
+        sent_at: Optional[int] = None,
+        delivered_at: Optional[int] = None,
+        kind: MsgKind = MsgKind.RR,
+        #: Line-aligned block address the message concerns.
+        block: int = 0,
+        #: Node id of the original requester (for forwards/acks routed via home).
+        requester: int = 0,
+        #: Data version carried by data messages (coherence checking).
+        version: int = 0,
+        #: For RXP: number of invalidation acks the requester must collect.
+        n_invals: int = 0,
+        #: For MR: the requester's access is a write (suppresses NoMig revert).
+        for_write: bool = False,
+        #: For MACK: whether the requester must hold the line unreplaceable
+        #: until home's MIack arrives (False when home itself supplied the data).
+        miack_needed: bool = True,
+        #: True when the sending endpoint is a cache (affects local-bus timing).
+        src_is_cache: bool = True,
+    ) -> None:
+        NetworkMessage.__init__(self, src, dst, kind.bits, uid, sent_at, delivered_at)
+        self.kind = kind
+        self.block = block
+        self.requester = requester
+        self.version = version
+        self.n_invals = n_invals
+        self.for_write = for_write
+        self.miack_needed = miack_needed
+        self.src_is_cache = src_is_cache
+        self.retained = False
+
+    def release(self) -> None:
+        """Return this instance to the free list (caller forfeits it)."""
+        free = CoherenceMessage._free
+        if type(self) is CoherenceMessage and len(free) < self._MAX_FREE:
+            free.append(self)
 
     @property
     def carries_data(self) -> bool:
-        return self.kind in DATA_KINDS
+        return self.kind.carries_data
 
     @property
     def dst_is_directory(self) -> bool:
-        return self.kind in DIRECTORY_KINDS
+        return self.kind.to_directory
 
     @property
     def network(self) -> str:
-        from repro.network.interface import REPLY, REQUEST
-
-        return REPLY if self.kind in REPLY_NET_KINDS else REQUEST
+        return self.kind.net
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -18,9 +18,15 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.coherence.messages import CoherenceMessage, MsgKind
+from repro.coherence.messages import (
+    KINDS_BY_INDEX,
+    NUM_KINDS,
+    CoherenceMessage,
+    MsgKind,
+)
 from repro.memory.bus import LocalBus
 from repro.network.interface import Fabric
+from repro.network.message import HEADER_BITS
 from repro.sim.engine import SimulationError, Simulator
 
 Handler = Callable[[CoherenceMessage], None]
@@ -51,9 +57,12 @@ class Transport:
         self.line_bits = line_bits
         self._cache_handlers: Dict[int, Handler] = {}
         self._directory_handlers: Dict[int, Handler] = {}
-        # Traffic accounting (all injected messages, by kind).
-        self.bits_by_kind: Dict[MsgKind, int] = {}
-        self.count_by_kind: Dict[MsgKind, int] = {}
+        # Traffic accounting (all injected messages, by kind).  Kept as
+        # flat lists indexed by ``MsgKind.index`` so the send path does a
+        # list store instead of hashing an enum member; the dict views the
+        # reports consume are materialized on demand (see properties).
+        self._bits_by_kind: List[int] = [0] * NUM_KINDS
+        self._count_by_kind: List[int] = [0] * NUM_KINDS
         #: Bits that actually crossed the mesh (excludes node-local traffic);
         #: this is the paper's "network traffic" metric.
         self.network_bits = 0
@@ -89,31 +98,33 @@ class Transport:
 
     def _send_now(self, msg: CoherenceMessage) -> None:
         """Perform the actual bus/mesh injection of ``msg``."""
-        if msg.carries_data:
-            from repro.network.message import HEADER_BITS
-
+        kind = msg.kind
+        carries_data = kind.carries_data
+        if carries_data:
             msg.bits = HEADER_BITS + self.line_bits
-        self.count_by_kind[msg.kind] = self.count_by_kind.get(msg.kind, 0) + 1
-        self.bits_by_kind[msg.kind] = self.bits_by_kind.get(msg.kind, 0) + msg.bits
+        bits = msg.bits
+        index = kind.index
+        self._count_by_kind[index] += 1
+        self._bits_by_kind[index] += bits
 
         if msg.src == msg.dst:
             # Node-local: one bus transaction covers the hop between the
             # cache and the directory/memory side.
             bus = self.buses[msg.src]
-            done = bus.transact(self.sim.now, msg.bits if msg.carries_data else 0)
+            done = bus.transact(self.sim.now, bits if carries_data else 0)
             self.sim.schedule_at(done, lambda: self._dispatch(msg))
             return
 
-        self.network_bits += msg.bits
+        self.network_bits += bits
         self.network_messages += 1
 
         def inject() -> None:
-            self.fabric.send(msg, msg.network)
+            self.fabric.send(msg, msg.kind.net)
 
         if msg.src_is_cache:
             # Cache -> network interface over the local bus.
             bus = self.buses[msg.src]
-            done = bus.transact(self.sim.now, msg.bits if msg.carries_data else 0)
+            done = bus.transact(self.sim.now, bits if carries_data else 0)
             self.sim.schedule_at(done, inject)
         else:
             inject()
@@ -123,18 +134,19 @@ class Transport:
     # ------------------------------------------------------------------
     def _deliver(self, msg: CoherenceMessage) -> None:
         """Mesh delivery at the destination's network interface."""
-        if msg.dst_is_directory:
+        kind = msg.kind
+        if kind.to_directory:
             self._dispatch(msg)
         else:
             # Network interface -> cache over the local bus.
             bus = self.buses[msg.dst]
-            done = bus.transact(self.sim.now, msg.bits if msg.carries_data else 0)
+            done = bus.transact(self.sim.now, msg.bits if kind.carries_data else 0)
             self.sim.schedule_at(done, lambda: self._dispatch(msg))
 
     def _dispatch(self, msg: CoherenceMessage) -> None:
         self._inflight.pop(id(msg), None)
         handlers = (
-            self._directory_handlers if msg.dst_is_directory else self._cache_handlers
+            self._directory_handlers if msg.kind.to_directory else self._cache_handlers
         )
         handler = handlers.get(msg.dst)
         if handler is None:
@@ -143,16 +155,39 @@ class Transport:
                 f"for node {msg.dst}"
             )
         handler(msg)
+        # Pooling: a handler that stores the message past this dispatch
+        # (directory pending/inflight, MSHR deferred) marks it retained;
+        # everything else is consumed and recycled here.
+        if not msg.retained:
+            msg.release()
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     @property
     def total_bits(self) -> int:
-        return sum(self.bits_by_kind.values())
+        return sum(self._bits_by_kind)
+
+    @property
+    def bits_by_kind(self) -> Dict[MsgKind, int]:
+        """Injected bits per message kind (kinds actually sent only)."""
+        return {
+            KINDS_BY_INDEX[i]: bits
+            for i, bits in enumerate(self._bits_by_kind)
+            if self._count_by_kind[i]
+        }
+
+    @property
+    def count_by_kind(self) -> Dict[MsgKind, int]:
+        """Injected message count per kind (kinds actually sent only)."""
+        return {
+            KINDS_BY_INDEX[i]: count
+            for i, count in enumerate(self._count_by_kind)
+            if count
+        }
 
     def count_of(self, kind: MsgKind) -> int:
-        return self.count_by_kind.get(kind, 0)
+        return self._count_by_kind[kind.index]
 
     def reset_stats(self) -> None:
         """Zero the traffic accounting (end-of-warmup stats mark).
@@ -160,8 +195,8 @@ class Transport:
         The in-flight census is *not* cleared: it tracks liveness, not
         measurement.
         """
-        self.bits_by_kind.clear()
-        self.count_by_kind.clear()
+        self._bits_by_kind = [0] * NUM_KINDS
+        self._count_by_kind = [0] * NUM_KINDS
         self.network_bits = 0
         self.network_messages = 0
 

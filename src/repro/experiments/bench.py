@@ -174,6 +174,43 @@ def render_bench(doc: dict) -> str:
     return "\n".join(lines)
 
 
+def compare_bench_results(old: dict, new: dict) -> List[str]:
+    """Semantic result gate between two snapshots: empty list = identical.
+
+    Wall times and events/sec are *measurements* and may drift with the
+    host; simulation outputs (execution times, event counts, traffic,
+    protocol counters) are deterministic and must not.  Returns one
+    human-readable line per divergence.  Labels present in only one
+    snapshot are skipped (suites may grow).
+    """
+    if old["preset"] != new["preset"]:
+        return [
+            f"preset mismatch: baseline ran {old['preset']!r}, current ran "
+            f"{new['preset']!r} — no comparable results"
+        ]
+    problems: List[str] = []
+    old_runs: Dict[str, dict] = {run["label"]: run for run in old["runs"]}
+    for run in new["runs"]:
+        before = old_runs.get(run["label"])
+        if before is None:
+            continue
+        label = run["label"]
+        for key in ("execution_time", "events_processed", "network_bits"):
+            if before.get(key) != run.get(key):
+                problems.append(
+                    f"{label}: {key} changed {before.get(key)!r} -> {run.get(key)!r}"
+                )
+        old_counters = before.get("counters", {})
+        new_counters = run.get("counters", {})
+        for name in sorted(set(old_counters) | set(new_counters)):
+            if old_counters.get(name) != new_counters.get(name):
+                problems.append(
+                    f"{label}: counter {name!r} changed "
+                    f"{old_counters.get(name)!r} -> {new_counters.get(name)!r}"
+                )
+    return problems
+
+
 def diff_bench(old: dict, new: dict) -> str:
     """Compare two snapshots run-by-run (positive delta = slower now)."""
     old_runs: Dict[str, dict] = {run["label"]: run for run in old["runs"]}

@@ -1,0 +1,142 @@
+"""First-class profiling harness for simulator runs.
+
+``repro-sim profile <workload>`` executes one full simulation under
+:mod:`cProfile`, prints a top-N hotspot table, and (optionally) writes a
+JSON artifact so successive optimization sessions can diff where the
+pclocks^H^H^H wall seconds go.  The simulation *result* is unaffected:
+profiling wraps the run, it does not alter scheduling or timing, so
+counters and execution times match an unprofiled run exactly.
+
+Artifact schema (``repro-profile/1``)::
+
+    {
+      "schema": "repro-profile/1",
+      "workload": "mp3d", "policy": "AD", "preset": "tiny",
+      "consistency": "SC",
+      "wall_time_s": 1.23,
+      "events_processed": 36250,
+      "events_per_sec": 29471,
+      "execution_time": 11265,
+      "hotspots": [
+        {"function": "...", "file": "...", "line": 123,
+         "ncalls": 1000, "tottime_s": 0.5, "cumtime_s": 0.7}, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.runner import run_workload
+
+PROFILE_SCHEMA = "repro-profile/1"
+
+#: pstats sort keys accepted by the CLI (name -> pstats key).
+SORT_KEYS = {
+    "tottime": pstats.SortKey.TIME,
+    "cumtime": pstats.SortKey.CUMULATIVE,
+    "calls": pstats.SortKey.CALLS,
+}
+
+
+def profile_run(
+    workload: str,
+    policy: ProtocolPolicy,
+    *,
+    preset: str = "tiny",
+    consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY,
+    check_coherence: bool = True,
+    top: int = 25,
+    sort: str = "tottime",
+) -> dict:
+    """Run ``workload`` under cProfile and return the artifact document."""
+    if sort not in SORT_KEYS:
+        raise ValueError(f"unknown sort key {sort!r}; choose from {sorted(SORT_KEYS)}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_workload(
+        workload,
+        policy,
+        preset=preset,
+        consistency=consistency,
+        check_coherence=check_coherence,
+    )
+    profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    stats.sort_stats(SORT_KEYS[sort])
+    wall = stats.total_tt
+
+    hotspots: List[dict] = []
+    # stats.fcn_list holds the sorted (file, line, name) keys; fall back to
+    # the unsorted dict if a pstats implementation leaves it unset.
+    ordered = stats.fcn_list or list(stats.stats)
+    for func in ordered[:top]:
+        file, line, name = func
+        cc, nc, tottime, cumtime, _callers = stats.stats[func]
+        hotspots.append(
+            {
+                "function": name,
+                "file": file,
+                "line": line,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+
+    events = result.events_processed
+    return {
+        "schema": PROFILE_SCHEMA,
+        "workload": workload,
+        "policy": result.policy_name,
+        "consistency": result.consistency_name,
+        "preset": preset,
+        "sort": sort,
+        "wall_time_s": round(wall, 4),
+        "events_processed": events,
+        "events_per_sec": int(events / wall) if wall > 0 else None,
+        "execution_time": result.execution_time,
+        "hotspots": hotspots,
+    }
+
+
+def render_profile_doc(doc: dict) -> str:
+    """Human-readable hotspot table for one profile artifact."""
+    lines = [
+        f"profile: {doc['workload']} / {doc['policy']} "
+        f"(preset {doc['preset']}, sort {doc['sort']})",
+        f"wall {doc['wall_time_s']} s — {doc['events_processed']:,} events"
+        + (
+            f" ({doc['events_per_sec']:,} events/s)"
+            if doc["events_per_sec"]
+            else ""
+        )
+        + f" — execution time {doc['execution_time']:,} pclocks",
+        "",
+        f"{'ncalls':>10}  {'tottime':>9}  {'cumtime':>9}  function",
+    ]
+    for spot in doc["hotspots"]:
+        where = Path(spot["file"]).name if spot["file"] else "~"
+        lines.append(
+            f"{spot['ncalls']:>10,}  {spot['tottime_s']:>9.4f}  "
+            f"{spot['cumtime_s']:>9.4f}  {spot['function']} "
+            f"({where}:{spot['line']})"
+        )
+    return "\n".join(lines)
+
+
+def write_profile(doc: dict, path: Union[str, Path]) -> Path:
+    """Write the artifact JSON to ``path``."""
+    target = Path(path)
+    target.write_text(json.dumps(doc, indent=2) + "\n")
+    return target

@@ -14,7 +14,6 @@ versions are never lost or reordered (see DESIGN.md Section 5).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 
@@ -39,23 +38,39 @@ WRITABLE_STATES = (CacheState.DIRTY, CacheState.MIGRATING)
 READABLE_STATES = (CacheState.SHARED, CacheState.DIRTY, CacheState.MIGRATING)
 
 
-@dataclass
 class CacheLine:
-    """One cache frame."""
+    """One cache frame (a ``__slots__`` class: one exists per frame and
+    sparse workloads allocate sets of them lazily, so footprint matters)."""
 
-    tag: Optional[int] = None
-    state: CacheState = CacheState.INVALID
-    #: Data version (monotone per block, for coherence checking).
-    version: int = 0
-    #: Adaptive protocol: the line may not be replaced until home has
-    #: acknowledged the directory update (MIack, Figure 3 of the paper).
-    replace_locked: bool = False
-    #: LRU timestamp within the set.
-    last_used: int = 0
+    __slots__ = ("tag", "state", "version", "replace_locked", "last_used")
+
+    def __init__(
+        self,
+        tag: Optional[int] = None,
+        state: CacheState = CacheState.INVALID,
+        version: int = 0,
+        replace_locked: bool = False,
+        last_used: int = 0,
+    ) -> None:
+        self.tag = tag
+        self.state = state
+        #: Data version (monotone per block, for coherence checking).
+        self.version = version
+        #: Adaptive protocol: the line may not be replaced until home has
+        #: acknowledged the directory update (MIack, Figure 3 of the paper).
+        self.replace_locked = replace_locked
+        #: LRU timestamp within the set.
+        self.last_used = last_used
 
     @property
     def valid(self) -> bool:
         return self.state is not CacheState.INVALID
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(tag={self.tag}, state={self.state}, "
+            f"version={self.version}, replace_locked={self.replace_locked})"
+        )
 
     def invalidate(self) -> None:
         self.state = CacheState.INVALID
@@ -93,9 +108,11 @@ class CacheArray:
             raise CacheGeometryError(f"number of sets must be a power of two, got {self.num_sets}")
         if line_bytes & (line_bytes - 1):
             raise CacheGeometryError(f"line size must be a power of two, got {line_bytes}")
-        self._sets: List[List[CacheLine]] = [
-            [CacheLine() for _ in range(associativity)] for _ in range(self.num_sets)
-        ]
+        # Sets are materialized lazily: a 64 KB direct-mapped cache has
+        # 4096 frames, but short runs touch a small fraction of them, and
+        # building every CacheLine up front dominated machine construction
+        # time (16 nodes x 4096 frames).
+        self._sets: List[Optional[List[CacheLine]]] = [None] * self.num_sets
         self._tick = 0
 
     # ------------------------------------------------------------------
@@ -118,11 +135,22 @@ class CacheArray:
     # ------------------------------------------------------------------
     # Lookup / allocation
     # ------------------------------------------------------------------
+    def _frames_for(self, set_index: int) -> List[CacheLine]:
+        """The frames of one set, materializing them on first use."""
+        frames = self._sets[set_index]
+        if frames is None:
+            frames = [CacheLine() for _ in range(self.associativity)]
+            self._sets[set_index] = frames
+        return frames
+
     def lookup(self, block: int) -> Optional[CacheLine]:
         """Return the valid line holding ``block``, or None."""
-        tag = self.tag_of(block)
-        for line in self._sets[self.set_index(block)]:
-            if line.valid and line.tag == tag:
+        frames = self._sets[block % self.num_sets]
+        if frames is None:
+            return None
+        tag = block // self.num_sets
+        for line in frames:
+            if line.tag == tag and line.state is not CacheState.INVALID:
                 return line
         return None
 
@@ -138,7 +166,7 @@ class CacheArray:
         the set is locked, in which case the LRU locked frame is returned
         and the caller must wait for the lock to clear (MIack arrival).
         """
-        frames = self._sets[self.set_index(block)]
+        frames = self._frames_for(self.set_index(block))
         invalid = [f for f in frames if not f.valid]
         if invalid:
             return invalid[0]
@@ -166,6 +194,8 @@ class CacheArray:
     def valid_blocks(self) -> Iterator[Tuple[int, CacheLine]]:
         """Yield (block, line) for every valid line."""
         for set_index, frames in enumerate(self._sets):
+            if frames is None:
+                continue
             for line in frames:
                 if line.valid:
                     yield self.block_from(line.tag, set_index), line

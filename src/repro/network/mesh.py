@@ -77,6 +77,10 @@ class Mesh:
         # XY routes are static, so each (src, dst) path is computed once
         # and reused for every message on the hot send path.
         self._route_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+        # The send path walks Resource objects directly: per (src, dst)
+        # the hop sequence is resolved once into a tuple of link Resources
+        # so each message pays list-walk + reserve, never dict lookups.
+        self._chain_cache: Dict[Tuple[int, int], Tuple[Resource, ...]] = {}
         #: Directed links keyed by (from_node, to_node).
         self.links: Dict[Tuple[int, int], Resource] = {}
         for node in range(self.num_nodes):
@@ -139,6 +143,15 @@ class Mesh:
         self._route_cache[(src, dst)] = path
         return path
 
+    def _chain(self, src: int, dst: int) -> Tuple[Resource, ...]:
+        """The route's link Resources, precomputed per (src, dst)."""
+        key = (src, dst)
+        chain = self._chain_cache.get(key)
+        if chain is None:
+            chain = tuple(self.links[link] for link in self.route(src, dst))
+            self._chain_cache[key] = chain
+        return chain
+
     def hop_count(self, src: int, dst: int) -> int:
         x, y = self.coords(src)
         dx, dy = self.coords(dst)
@@ -181,20 +194,22 @@ class Mesh:
         """
         now = self.sim.now
         message.sent_at = now
-        flits = message.flits(self.link_bits)
+        bits = message.bits
+        flits = -(-bits // self.link_bits)  # ceil division
         self.messages_sent += 1
-        self.bits_sent += message.bits
+        self.bits_sent += bits
 
         if message.src == message.dst:
             arrival = now + 2 * self.interface_delay
         else:
-            head = now + self.interface_delay
-            path = self.route(message.src, message.dst)
-            for link_key in path:
-                start = self.links[link_key].reserve(head, flits)
-                head = start + self.fall_through
-                self.flit_hops += flits
-            arrival = head + flits + self.interface_delay
+            interface_delay = self.interface_delay
+            fall_through = self.fall_through
+            head = now + interface_delay
+            chain = self._chain(message.src, message.dst)
+            for link in chain:
+                head = link.reserve(head, flits) + fall_through
+            self.flit_hops += flits * len(chain)
+            arrival = head + flits + interface_delay
 
         def _deliver() -> None:
             message.delivered_at = self.sim.now

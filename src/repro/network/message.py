@@ -9,12 +9,15 @@ The paper's traffic arithmetic (Section 5.2) is explicit about sizes:
 
 We reproduce exactly that accounting so that the 704-vs-328-bit comparison
 falls out of the simulator rather than being hard-coded.
+
+``NetworkMessage`` is a ``__slots__`` class rather than a dataclass: one
+instance exists per protocol message, which makes its layout and
+construction cost part of the simulator's hot path.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Optional
 
 #: Bits of header per message: src id (4) + dst id (4) + address (28) + command (4).
@@ -25,7 +28,6 @@ DATA_BITS = 128
 _msg_ids = itertools.count()
 
 
-@dataclass
 class NetworkMessage:
     """A unit of transfer on one of the two mesh networks.
 
@@ -33,15 +35,32 @@ class NetworkMessage:
     for traffic statistics and for link occupancy (flit count).
     """
 
-    src: int
-    dst: int
-    bits: int = HEADER_BITS
-    #: Monotone id used only for deterministic tie-breaking and debugging.
-    uid: int = field(default_factory=lambda: next(_msg_ids))
-    #: Filled in by the mesh on delivery (for latency statistics).
-    sent_at: Optional[int] = None
-    delivered_at: Optional[int] = None
+    __slots__ = ("src", "dst", "bits", "uid", "sent_at", "delivered_at")
+
+    def __init__(
+        self,
+        src: int = 0,
+        dst: int = 0,
+        bits: int = HEADER_BITS,
+        uid: Optional[int] = None,
+        sent_at: Optional[int] = None,
+        delivered_at: Optional[int] = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.bits = bits
+        #: Monotone id used only for deterministic tie-breaking and debugging.
+        self.uid = next(_msg_ids) if uid is None else uid
+        #: Filled in by the mesh on delivery (for latency statistics).
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
 
     def flits(self, link_bits: int) -> int:
         """Number of flits on a ``link_bits``-wide link (header-rounded)."""
         return -(-self.bits // link_bits)  # ceil division
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkMessage(src={self.src}, dst={self.dst}, "
+            f"bits={self.bits}, uid={self.uid})"
+        )

@@ -7,12 +7,27 @@ bus, DRAM bank) schedules callbacks on it.  Time is measured in *pclocks*
 
 Events with equal timestamps fire in FIFO order of scheduling, which makes
 simulations fully deterministic for a given workload seed.
+
+Queue structure
+---------------
+
+A clocked machine schedules most of its events a handful of distinct
+timestamps ahead (bus grants, memory completions, link arrivals), so many
+events share a timestamp.  The queue is therefore a *bucketed calendar*:
+one deque of callbacks per pending timestamp (FIFO within the bucket
+preserves scheduling order exactly as the old ``(time, seq)`` heap tie-break
+did), plus a small heap of the distinct timestamps themselves.  Scheduling
+into an existing bucket is a single ``append``; only the first event at a
+new timestamp pays a ``heappush``.  An event scheduled with zero delay while
+its own bucket is draining lands at the tail of the live bucket and fires
+in the same pass — identical to the old heap's behaviour.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, List, Optional
 
 
 class SimulationError(RuntimeError):
@@ -51,8 +66,9 @@ class Simulator:
 
     __slots__ = (
         "_now",
-        "_queue",
-        "_seq",
+        "_buckets",
+        "_times",
+        "_size",
         "_running",
         "max_events",
         "events_processed",
@@ -67,8 +83,11 @@ class Simulator:
         watchdog_window: Optional[int] = None,
     ) -> None:
         self._now: int = 0
-        self._queue: List[Tuple[int, int, Callable[[], None]]] = []
-        self._seq: int = 0
+        #: Pending events, one FIFO deque per distinct timestamp.
+        self._buckets: Dict[int, deque] = {}
+        #: Heap of the distinct pending timestamps (each pushed once).
+        self._times: List[int] = []
+        self._size: int = 0
         self._running: bool = False
         #: Safety valve against livelock (e.g. unbounded NAK retry storms).
         self.max_events = max_events
@@ -93,34 +112,73 @@ class Simulator:
         """Schedule ``callback`` to fire ``delay`` pclocks from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + int(delay), self._seq, callback))
+        time = self._now + int(delay)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = bucket = deque()
+            heappush(self._times, time)
+        bucket.append(callback)
+        self._size += 1
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at an absolute timestamp ``time >= now``."""
         if time < self._now:
             raise SimulationError(f"cannot schedule in the past ({time} < {self._now})")
-        self._seq += 1
-        heapq.heappush(self._queue, (int(time), self._seq, callback))
+        time = int(time)
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = bucket = deque()
+            heappush(self._times, time)
+        bucket.append(callback)
+        self._size += 1
 
     def pending(self) -> int:
         """Number of events still queued."""
-        return len(self._queue)
+        return self._size
 
     def run(self, until: Optional[int] = None) -> None:
-        """Process events until the queue is empty or ``until`` is reached."""
+        """Process events until the queue is empty or ``until`` is reached.
+
+        The inner loop drains one timestamp bucket at a time: callbacks
+        appended to the live bucket (zero-delay scheduling) fire in the
+        same pass, after everything already queued at that timestamp —
+        exactly the FIFO tie-break the old sequence-numbered heap gave.
+        """
         self._running = True
-        queue = self._queue
+        buckets = self._buckets
+        times = self._times
+        unlimited = self.max_events is None and self.watchdog_window is None
         try:
-            while queue:
-                time, _seq, callback = queue[0]
+            while times:
+                time = times[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(queue)
+                # The bucket stays registered while it drains, so zero-delay
+                # scheduling during the drain appends to it and fires in the
+                # same pass; a callback that raises leaves the remainder
+                # queued and the calendar consistent.
+                bucket = buckets[time]
                 self._now = time
-                self._count_event()
-                callback()
-            if until is not None and self._now < until and not queue:
+                if unlimited:
+                    # Hot path: no safety valves, count in bulk per bucket.
+                    popleft = bucket.popleft
+                    processed = 0
+                    try:
+                        while bucket:
+                            processed += 1
+                            popleft()()
+                    finally:
+                        self._size -= processed
+                        self.events_processed += processed
+                else:
+                    while bucket:
+                        callback = bucket.popleft()
+                        self._size -= 1
+                        self._count_event()
+                        callback()
+                heappop(times)
+                del buckets[time]
+            if until is not None and self._now < until and not times:
                 self._now = until
         finally:
             self._running = False
@@ -131,13 +189,24 @@ class Simulator:
         Step-driven loops get the same ``max_events`` livelock guard as
         :meth:`run`.
         """
-        if not self._queue:
-            return False
-        time, _seq, callback = heapq.heappop(self._queue)
-        self._now = time
-        self._count_event()
-        callback()
-        return True
+        while self._times:
+            time = self._times[0]
+            bucket = self._buckets[time]
+            if not bucket:
+                # An interrupted run() can leave a drained bucket registered.
+                heappop(self._times)
+                del self._buckets[time]
+                continue
+            callback = bucket.popleft()
+            self._size -= 1
+            if not bucket:
+                heappop(self._times)
+                del self._buckets[time]
+            self._now = time
+            self._count_event()
+            callback()
+            return True
+        return False
 
     def note_progress(self) -> None:
         """Record forward progress (a processor retired an operation)."""

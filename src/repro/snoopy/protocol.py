@@ -61,6 +61,21 @@ class SnoopySystemState:
         self.counters = counters
         self.blocks: Dict[int, BlockInfo] = {}
         self.caches: List["SnoopyCache"] = []
+        # Pre-resolved integer-slot counter handles shared by every cache
+        # on the bus (hot path: no string hashing per reference).
+        for name in (
+            "read_hits", "read_misses", "write_hits", "write_misses",
+            "write_upgrades", "migrating_promotions", "rr_received",
+            "rxq_received", "nominations", "rxq_demotions", "nomig_reverts",
+            "migratory_reads", "invalidations_sent", "writebacks",
+            "evictions_clean", "updates_broadcast", "copies_updated",
+            "write_updates",
+        ):
+            setattr(self, "c_" + name, counters.handle(name))
+        #: Gupta-Weber invalidation histogram, one handle per bucket (0-4).
+        self.c_inval_dist = [
+            counters.handle(f"inval_dist_{bucket}") for bucket in range(5)
+        ]
 
     def block(self, block: int) -> BlockInfo:
         info = self.blocks.get(block)
@@ -103,11 +118,11 @@ class SnoopyCache:
         line = self.cache.lookup(block)
         if line is not None:
             self.cache.touch(line)
-            self.system.counters.inc("read_hits")
+            self.system.c_read_hits.inc()
             self.system.checker.on_read(self.node, block, line.version)
             done()
             return
-        self.system.counters.inc("read_misses")
+        self.system.c_read_misses.inc()
         self._pending[block] = []
         self._transact_read(block, done)
 
@@ -119,18 +134,19 @@ class SnoopyCache:
         line = self.cache.lookup(block)
         if line is not None and line.state in (CacheState.DIRTY, CacheState.MIGRATING):
             if line.state is CacheState.MIGRATING:
-                self.system.counters.inc("migrating_promotions")
+                self.system.c_migrating_promotions.inc()
                 line.state = CacheState.DIRTY
                 self.system.block(block).owner_wrote = True
             self.cache.touch(line)
-            self.system.counters.inc("write_hits")
+            self.system.c_write_hits.inc()
             line.version = self.system.checker.on_write(
                 self.node, block, line.version
             )
             done()
             return
         upgrade = line is not None
-        self.system.counters.inc("write_upgrades" if upgrade else "write_misses")
+        (self.system.c_write_upgrades if upgrade
+         else self.system.c_write_misses).inc()
         self._pending[block] = []
         self._transact_write(block, done, upgrade=upgrade)
 
@@ -146,8 +162,7 @@ class SnoopyCache:
     # ------------------------------------------------------------------
     def _transact_read(self, block: int, done: DoneCallback) -> None:
         info = self.system.block(block)
-        counters = self.system.counters
-        counters.inc("rr_received")
+        self.system.c_rr_received.inc()
 
         # Timing guess at arbitration time (semantic decisions are made at
         # the grant, in bus order, because intervening transactions may
@@ -170,12 +185,12 @@ class SnoopyCache:
                     if not info.owner_wrote and self.system.policy.nomig_enabled:
                         # NoMig: the owner never wrote — read-only sharing;
                         # revert the block to ordinary (Section 3.4).
-                        counters.inc("nomig_reverts")
+                        self.system.c_nomig_reverts.inc()
                         info.migratory = False
                         info.lw.invalidate()
                     else:
                         migrate = True
-                        counters.inc("migratory_reads")
+                        self.system.c_migratory_reads.inc()
                 info.version = line_owner.version
                 self.system.checker.release_writable(owner_cache.node, block)
                 if migrate:
@@ -212,8 +227,7 @@ class SnoopyCache:
         self, block: int, done: DoneCallback, *, upgrade: bool
     ) -> None:
         info = self.system.block(block)
-        counters = self.system.counters
-        counters.inc("rxq_received")
+        self.system.c_rxq_received.inc()
 
         op = BusOp.UPGR if upgrade else BusOp.RDX
         end = self.system.bus.acquire(op, info.owner is not None)
@@ -223,10 +237,10 @@ class SnoopyCache:
             # condition as the directory machine (N==2 and LW != i).
             if self.system.policy.adaptive and not info.migratory:
                 if should_nominate(len(info.sharers), self.node, info.lw.value):
-                    counters.inc("nominations")
+                    self.system.c_nominations.inc()
                     info.migratory = True
             elif info.migratory and self.system.policy.rxq_reverts_to_ordinary:
-                counters.inc("rxq_demotions")
+                self.system.c_rxq_demotions.inc()
                 info.migratory = False
 
             # Invalidate every other copy (the snoop).
@@ -243,8 +257,8 @@ class SnoopyCache:
                     cache._note_inv(block)
                     invalidated += 1
             bucket = invalidated if invalidated < 4 else 4
-            counters.inc(f"inval_dist_{bucket}")
-            counters.inc("invalidations_sent", invalidated)
+            self.system.c_inval_dist[bucket].inc()
+            self.system.c_invalidations_sent.inc(invalidated)
             info.sharers = set()
             info.owner = self.node
             info.owner_wrote = True
@@ -274,14 +288,14 @@ class SnoopyCache:
                 victim.tag, self.cache.set_index(block)
             )
             if victim.state in (CacheState.DIRTY, CacheState.MIGRATING):
-                self.system.counters.inc("writebacks")
+                self.system.c_writebacks.inc()
                 info = self.system.block(victim_block)
                 info.version = victim.version
                 info.owner = None
                 self.system.checker.release_writable(self.node, victim_block)
                 self.system.bus.acquire(BusOp.WB, True)
             else:
-                self.system.counters.inc("evictions_clean")
+                self.system.c_evictions_clean.inc()
                 self.system.block(victim_block).sharers.discard(self.node)
             victim.invalidate()
         line = self.cache.install(block, state, version)

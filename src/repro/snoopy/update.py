@@ -66,11 +66,11 @@ class WriteUpdateCache:
         line = self.cache.lookup(block)
         if line is not None:
             self.cache.touch(line)
-            self.system.counters.inc("read_hits")
+            self.system.c_read_hits.inc()
             self.system.checker.on_read(self.node, block, line.version)
             done()
             return
-        self.system.counters.inc("read_misses")
+        self.system.c_read_misses.inc()
         self._pending[block] = []
         self._transact_read(block, done)
 
@@ -84,15 +84,14 @@ class WriteUpdateCache:
         if line is not None and line.state is CacheState.DIRTY:
             # Sole copy: write locally, no broadcast.
             self.cache.touch(line)
-            self.system.counters.inc("write_hits")
+            self.system.c_write_hits.inc()
             line.version = self.system.checker.on_write(self.node, block, line.version)
             info.version = line.version
             done()
             return
         # Shared (or missing): broadcast an update.
-        self.system.counters.inc(
-            "write_updates" if line is not None else "write_misses"
-        )
+        (self.system.c_write_updates if line is not None
+         else self.system.c_write_misses).inc()
         self._pending[block] = []
         self._transact_write(block, done, have_copy=line is not None)
 
@@ -127,7 +126,6 @@ class WriteUpdateCache:
         self, block: int, done: DoneCallback, *, have_copy: bool
     ) -> None:
         info = self.system.block(block)
-        counters = self.system.counters
         end = self.system.bus.acquire(BusOp.RD, sourced_by_cache=True)
         # Account the broadcast explicitly (BusOp.RD already billed a data
         # phase for the fill; the update itself is billed here).
@@ -151,8 +149,8 @@ class WriteUpdateCache:
                         line.state = CacheState.SHARED
                     line.version = new_version
                     holders += 1
-            counters.inc("updates_broadcast")
-            counters.inc("copies_updated", holders)
+            self.system.c_updates_broadcast.inc()
+            self.system.c_copies_updated.inc(holders)
             line = self.cache.lookup(block)
             if line is None:
                 state = CacheState.SHARED if holders else CacheState.DIRTY
@@ -177,12 +175,12 @@ class WriteUpdateCache:
                 victim.tag, self.cache.set_index(block)
             )
             if victim.state is CacheState.DIRTY:
-                self.system.counters.inc("writebacks")
+                self.system.c_writebacks.inc()
                 self.system.block(victim_block).version = victim.version
                 self.system.checker.release_writable(self.node, victim_block)
                 self.system.bus.acquire(BusOp.WB, True)
             else:
-                self.system.counters.inc("evictions_clean")
+                self.system.c_evictions_clean.inc()
             self.system.block(victim_block).sharers.discard(self.node)
             victim.invalidate()
         line = self.cache.install(block, state, version)

@@ -5,6 +5,14 @@ back by name.  Keeping this schema-less makes it trivial for protocol
 handlers to record events without plumbing new fields everywhere; the
 well-known counter names are documented here.
 
+Hot-path components should not pay a string hash per event: they resolve
+a :class:`CounterHandle` once at construction time
+(``self._c_read_hits = counters.handle("read_hits")``) and bump it with
+``handle.inc()``, which is a single integer-indexed list store.  Handles
+stay valid across :meth:`Counters.clear` — the reset zeroes the slot
+array in place rather than dropping it, so a stats reset between warmup
+and measurement can never resurrect stale counts through an old handle.
+
 Well-known counters
 -------------------
 
@@ -32,38 +40,114 @@ Well-known counters
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Tuple
+
+
+class CounterHandle:
+    """A pre-resolved integer-slot view of one named counter.
+
+    ``inc`` indexes directly into the owning :class:`Counters` slot array:
+    no string hashing, no dict lookup.  The handle stays valid across
+    :meth:`Counters.clear` because the arrays are zeroed in place.
+    """
+
+    __slots__ = ("_values", "_touched", "_index", "name")
+
+    def __init__(self, counters: "Counters", index: int, name: str) -> None:
+        self._values = counters._values
+        self._touched = counters._touched
+        self._index = index
+        self.name = name
+
+    def inc(self, amount: int = 1) -> None:
+        i = self._index
+        self._values[i] += amount
+        self._touched[i] = True
+
+    @property
+    def value(self) -> int:
+        return self._values[self._index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterHandle({self.name!r}, {self.value})"
 
 
 class Counters:
-    """A bag of named integer counters."""
+    """A bag of named integer counters.
+
+    Values live in a slot array indexed by ``_index[name]``; the
+    string-keyed API (``inc``/``get``/``items``/``as_dict``/``merge``)
+    is unchanged for reports and experiment code, while hot paths go
+    through :meth:`handle`.  A name only appears in ``items``/``as_dict``
+    once it has actually been incremented (matching the old defaultdict
+    behaviour, where resolving never materialized an entry).
+    """
+
+    __slots__ = ("_index", "_values", "_touched")
 
     def __init__(self) -> None:
-        self._values: Dict[str, int] = defaultdict(int)
+        self._index: Dict[str, int] = {}
+        self._values: List[int] = []
+        self._touched: List[bool] = []
+
+    def _slot(self, name: str) -> int:
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._values)
+            self._index[name] = index
+            self._values.append(0)
+            self._touched.append(False)
+        return index
+
+    def handle(self, name: str) -> CounterHandle:
+        """Resolve ``name`` to a reusable integer-slot handle.
+
+        Resolving alone does not materialize the counter in
+        ``as_dict``/``items``; only an actual ``inc`` does.
+        """
+        return CounterHandle(self, self._slot(name), name)
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self._values[name] += amount
+        index = self._index.get(name)
+        if index is None:
+            index = self._slot(name)
+        self._values[index] += amount
+        self._touched[index] = True
 
     def get(self, name: str) -> int:
-        return self._values.get(name, 0)
+        index = self._index.get(name)
+        return self._values[index] if index is not None else 0
 
     def __getitem__(self, name: str) -> int:
         return self.get(name)
 
     def items(self) -> Iterator[Tuple[str, int]]:
-        return iter(sorted(self._values.items()))
+        return iter(sorted(self.as_dict().items()))
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(self._values)
+        values = self._values
+        touched = self._touched
+        return {
+            name: values[index]
+            for name, index in self._index.items()
+            if touched[index]
+        }
 
     def merge(self, other: "Counters") -> None:
-        for name, value in other._values.items():
-            self._values[name] += value
+        for name, value in other.as_dict().items():
+            self.inc(name, value)
 
     def clear(self) -> None:
-        """Reset every counter (end-of-warmup stats mark)."""
-        self._values.clear()
+        """Reset every counter (end-of-warmup stats mark).
+
+        Slots are zeroed *in place* so that handles resolved before the
+        clear remain valid and cannot resurrect pre-clear counts.
+        """
+        values = self._values
+        touched = self._touched
+        for i in range(len(values)):
+            values[i] = 0
+            touched[i] = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counters({dict(self._values)!r})"
+        return f"Counters({self.as_dict()!r})"

@@ -1,0 +1,56 @@
+"""Golden-run determinism: results must be bit-identical across versions.
+
+``golden_tiny.json`` records every deterministic observable (execution
+time, event count, traffic, all protocol counters, per-kind message
+counts) of the MP3D and Cholesky tiny runs under W-I and AD, captured
+before the event-core overhaul.  Any optimization of the simulator's hot
+paths — queue layout, message pooling, counter storage — must reproduce
+these numbers exactly; a mismatch means simulated *behaviour* changed,
+not just speed.
+
+Refreshing the goldens is a deliberate act (a protocol or timing-model
+change): regenerate each entry with the spec below and explain the delta
+in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.parallel import RunSpec, execute_spec
+
+GOLDEN_PATH = Path(__file__).parent / "golden_tiny.json"
+
+POLICIES = {
+    "W-I": ProtocolPolicy.write_invalidate(),
+    "AD": ProtocolPolicy.adaptive_default(),
+}
+
+
+def _golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("label", sorted(_golden()))
+def test_golden_run_matches(label):
+    want = _golden()[label]
+    workload, policy_name = label.split("/")
+    spec = RunSpec.make(
+        workload, POLICIES[policy_name], preset="tiny", check_coherence=True
+    )
+    result = execute_spec(spec).unwrap()
+    got = {
+        "execution_time": result.execution_time,
+        "events_processed": result.events_processed,
+        "network_bits": result.network_bits,
+        "network_messages": result.network_messages,
+        "counters": result.counters.as_dict(),
+        "count_by_kind": result.count_by_kind,
+    }
+    for key, expected in want.items():
+        assert got[key] == expected, (
+            f"{label}: {key} diverged from golden "
+            f"(simulated behaviour changed, not just speed)"
+        )

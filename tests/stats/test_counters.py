@@ -1,0 +1,104 @@
+"""Counters: slot-handle fast path vs the string-keyed report API."""
+
+from repro.stats.counters import Counters
+
+
+def test_inc_and_get_by_name():
+    c = Counters()
+    c.inc("read_hits")
+    c.inc("read_hits", 4)
+    assert c.get("read_hits") == 5
+    assert c["read_hits"] == 5
+    assert c.get("never_touched") == 0
+
+
+def test_handle_inc_matches_string_inc():
+    c = Counters()
+    h = c.handle("writebacks")
+    h.inc()
+    c.inc("writebacks", 2)
+    h.inc(3)
+    assert c.get("writebacks") == 6
+    assert h.value == 6
+
+
+def test_handle_alone_does_not_materialize_entry():
+    # Pre-resolving every hot counter at construction time must not make
+    # untouched counters appear in reports (the old defaultdict only grew
+    # entries on an actual inc).
+    c = Counters()
+    c.handle("naks")
+    assert c.as_dict() == {}
+    assert list(c.items()) == []
+
+
+def test_zero_amount_inc_materializes_entry():
+    # inc(name, 0) created an entry under the defaultdict; keep that.
+    c = Counters()
+    c.inc("invalidations_sent", 0)
+    assert c.as_dict() == {"invalidations_sent": 0}
+
+
+def test_clear_keeps_handles_valid():
+    # Regression: clear() must zero slots in place, so handles resolved
+    # before a stats reset neither crash nor resurrect stale counts.
+    c = Counters()
+    h = c.handle("read_misses")
+    h.inc(7)
+    c.clear()
+    assert c.as_dict() == {}
+    assert h.value == 0
+    h.inc()
+    assert c.as_dict() == {"read_misses": 1}
+    assert c.get("read_misses") == 1
+
+
+def test_clear_then_merge_cannot_resurrect_stale_counts():
+    # The reset_stats flow: warmup counts are cleared, then later merges
+    # bring in only post-clear values.
+    c = Counters()
+    h = c.handle("nominations")
+    h.inc(100)  # warmup noise
+    c.clear()
+    other = Counters()
+    other.inc("nominations", 3)
+    c.merge(other)
+    assert c.as_dict() == {"nominations": 3}
+    assert h.value == 3
+
+
+def test_merge_sums_and_creates():
+    a = Counters()
+    a.inc("x", 1)
+    b = Counters()
+    b.inc("x", 2)
+    b.inc("y", 5)
+    a.merge(b)
+    assert a.as_dict() == {"x": 3, "y": 5}
+
+
+def test_merge_ignores_untouched_handles_of_source():
+    a = Counters()
+    b = Counters()
+    b.handle("phantom")  # resolved but never incremented
+    b.inc("real", 1)
+    a.merge(b)
+    assert a.as_dict() == {"real": 1}
+
+
+def test_items_sorted_by_name():
+    c = Counters()
+    c.inc("zeta")
+    c.inc("alpha", 2)
+    assert list(c.items()) == [("alpha", 2), ("zeta", 1)]
+
+
+def test_handles_interchangeable_with_string_api_after_clear():
+    c = Counters()
+    h1 = c.handle("writebacks")
+    c.inc("writebacks", 2)
+    c.clear()
+    h2 = c.handle("writebacks")  # re-resolve post-clear
+    h1.inc()
+    h2.inc()
+    assert c.get("writebacks") == 2

@@ -70,11 +70,32 @@ def test_verify_command(capsys):
     assert "invariants held" in out
 
 
-def test_profile_command(capsys):
-    assert main(["profile", "migratory-counters", "--no-check"]) == 0
+def test_sharing_command(capsys):
+    assert main(["sharing", "migratory-counters", "--no-check"]) == 0
     out = capsys.readouterr().out
     assert "migratory" in out
     assert "invalidations" in out
+
+
+def test_profile_command(tmp_path, capsys):
+    target = tmp_path / "profile.json"
+    code = main(
+        ["profile", "migratory-counters", "--no-check", "--top", "5",
+         "--output", str(target)]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "tottime" in out
+    assert "events/s" in out
+    import json
+
+    doc = json.loads(target.read_text())
+    assert doc["schema"] == "repro-profile/1"
+    assert doc["workload"] == "migratory-counters"
+    assert len(doc["hotspots"]) == 5
+    assert doc["events_processed"] > 0
+    # Profiling must not perturb the simulation itself.
+    assert doc["execution_time"] > 0
 
 
 def test_bus_command(capsys):
