@@ -8,6 +8,7 @@ Examples::
     repro-sim report --preset default --workers 4
     repro-sim bench --quick
     repro-sim profile mp3d --protocol AD --top 20 --output profile.json
+    repro-sim trace mp3d --protocol AD --perfetto trace.json --metrics m.csv
     repro-sim sharing migratory-counters
     repro-sim chaos mp3d --intensities 0,0.5 --preset tiny
     repro-sim list
@@ -54,6 +55,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         preset=args.preset,
         consistency=model_by_name(args.consistency),
         check_coherence=not args.no_check,
+        trace=args.trace,
     )
     breakdown = result.aggregate_breakdown
     fractions = breakdown.fractions()
@@ -72,6 +74,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "migrating_promotions", "nomig_reverts", "writebacks", "naks",
     ):
         print(f"  {counter:<22}{result.counter(counter)}")
+    if result.latency is not None:
+        from repro.obs import render_latency_summary
+
+        print()
+        print(render_latency_summary(result.latency))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one workload with span tracing on and export the artifacts."""
+    import json
+
+    from repro.machine.config import MachineConfig
+    from repro.machine.system import Machine
+    from repro.obs import (
+        render_latency_summary,
+        spans_to_json,
+        validate_trace_events,
+        write_chrome_trace,
+    )
+    from repro.workloads import make_workload
+
+    want_metrics = bool(args.metrics or args.perfetto)
+    config = MachineConfig.dash_default(
+        policy=_policy_by_name(args.protocol),
+        consistency=model_by_name(args.consistency),
+        check_coherence=not args.no_check,
+        trace=True,
+        trace_max_spans=args.max_spans,
+        metrics_interval=args.metrics_interval if want_metrics else None,
+    )
+    machine = Machine(config)
+    workload = make_workload(args.workload, config.num_nodes, args.preset,
+                             seed=args.seed)
+    result = machine.run(workload.programs())
+    tracer = machine.tracer
+    print(f"workload:        {args.workload} (preset {args.preset}, "
+          f"seed {args.seed})")
+    print(f"protocol:        {result.policy_name} / {result.consistency_name}")
+    print(f"execution time:  {result.execution_time} pclocks")
+    print()
+    print(render_latency_summary(tracer.summary()))
+    ring = machine.metrics.ring if machine.metrics is not None else None
+    if args.perfetto:
+        doc = write_chrome_trace(tracer, args.perfetto, metrics=ring)
+        events = validate_trace_events(doc)
+        print(f"\nwrote {args.perfetto} ({events} trace events; open at "
+              "https://ui.perfetto.dev)")
+    if args.spans:
+        with open(args.spans, "w") as handle:
+            json.dump(spans_to_json(tracer), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.spans} ({len(tracer.spans)} spans)")
+    if args.metrics:
+        if args.metrics.endswith(".json"):
+            ring.write_json(args.metrics)
+        else:
+            ring.write_csv(args.metrics)
+        print(f"wrote {args.metrics} ({len(ring)} samples, "
+              f"{ring.dropped} dropped)")
     return 0
 
 
@@ -121,6 +183,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         preset=args.preset,
         consistency=model_by_name(args.consistency),
         check_coherence=not args.no_check,
+        seed=args.seed,
         top=args.top,
         sort=args.sort,
     )
@@ -184,6 +247,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_bench,
         render_bench,
         run_bench_suite,
+        timing_regressions,
         write_bench,
     )
 
@@ -211,6 +275,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 print(f"  {line}")
         else:
             print(f"\nsimulation results identical to {args.against}")
+        # Optional hard gate on wall-time drift (off by default: timing
+        # is host-dependent, so the diff above only informs unless the
+        # caller names a threshold).
+        if args.tolerance is not None:
+            slow = timing_regressions(baseline, doc, args.tolerance)
+            if slow:
+                ok = False
+                print(f"\nTIMING REGRESSION vs {args.against} "
+                      f"(tolerance {args.tolerance:.0%}):")
+                for line in slow:
+                    print(f"  {line}")
+            else:
+                print(f"wall times within {args.tolerance:.0%} of "
+                      f"{args.against}")
     return 0 if ok else 1
 
 
@@ -301,7 +379,37 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--preset", default="default")
     run_p.add_argument("--no-check", action="store_true",
                        help="disable coherence invariant checking")
+    run_p.add_argument("--trace", action="store_true",
+                       help="trace every miss and print the latency "
+                            "attribution summary")
     run_p.set_defaults(func=_cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace every coherence transaction and export span/metric "
+             "artifacts",
+    )
+    trace_p.add_argument("workload", choices=sorted(WORKLOADS))
+    trace_p.add_argument("--protocol", default="AD")
+    trace_p.add_argument("--consistency", default="SC")
+    trace_p.add_argument("--preset", default="tiny")
+    trace_p.add_argument("--seed", type=int, default=42)
+    trace_p.add_argument("--no-check", action="store_true")
+    trace_p.add_argument("--max-spans", type=int, default=200_000,
+                         help="retained-span budget (beyond it spans feed "
+                              "the aggregates but drop their detail)")
+    trace_p.add_argument("--perfetto", default=None, metavar="TRACE_JSON",
+                         help="write a Chrome trace_events file "
+                              "(open at https://ui.perfetto.dev)")
+    trace_p.add_argument("--spans", default=None, metavar="SPANS_JSON",
+                         help="write the raw spans + summary as JSON")
+    trace_p.add_argument("--metrics", default=None, metavar="METRICS_FILE",
+                         help="write the metric samples (.json, else CSV)")
+    trace_p.add_argument("--metrics-interval", type=int, default=500,
+                         help="sampling period in pclocks (default 500; "
+                              "sampling runs only when --metrics or "
+                              "--perfetto is given)")
+    trace_p.set_defaults(func=_cmd_trace)
 
     cmp_p = sub.add_parser("compare", help="run W-I vs AD and report reductions")
     cmp_p.add_argument("workload", choices=sorted(WORKLOADS))
@@ -324,6 +432,8 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--consistency", default="SC")
     prof_p.add_argument("--preset", default="tiny")
     prof_p.add_argument("--no-check", action="store_true")
+    prof_p.add_argument("--seed", type=int, default=42,
+                        help="workload seed recorded in the artifact")
     prof_p.add_argument("--top", type=int, default=25,
                         help="number of hotspot rows to print (default 25)")
     prof_p.add_argument("--sort", default="tottime",
@@ -381,6 +491,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="snapshot path (default BENCH_<date>.json)")
     bench_p.add_argument("--against", default=None, metavar="BENCH_JSON",
                          help="print a regression diff against an older snapshot")
+    bench_p.add_argument("--tolerance", type=float, default=None,
+                         metavar="FRACTION",
+                         help="with --against: fail if any run's wall time "
+                              "regressed by more than this fraction "
+                              "(e.g. 0.25 = 25%%; default: timing drift "
+                              "only informs, never fails)")
     bench_p.set_defaults(func=_cmd_bench)
 
     chaos_p = sub.add_parser(

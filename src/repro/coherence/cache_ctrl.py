@@ -55,6 +55,7 @@ class MSHR:
         "waiters",
         "deferred",
         "issued_at",
+        "trace",
     )
 
     def __init__(self, block: int, is_write: bool, is_upgrade: bool, now: int) -> None:
@@ -76,6 +77,8 @@ class MSHR:
         #: External forwards deferred until this transaction retires.
         self.deferred: List[CoherenceMessage] = []
         self.issued_at = now
+        #: Observability span id (0 = untraced).
+        self.trace = 0
 
 
 class CacheController:
@@ -93,6 +96,7 @@ class CacheController:
         counters: Counters,
         service_delay: int = 4,
         faults=None,
+        tracer=None,
     ) -> None:
         self.node = node
         self.sim = sim
@@ -122,6 +126,9 @@ class CacheController:
         #: Optional :class:`~repro.faults.plan.FaultPlan` consulted when a
         #: forward arrives (forced spurious-eviction NAKs).
         self.faults = faults
+        #: Optional :class:`~repro.obs.tracer.TransactionTracer`; when set,
+        #: every miss/upgrade/prefetch opens a span closed at retirement.
+        self.tracer = tracer
         self.mshrs: Dict[int, MSHR] = {}
         #: Dirty data in flight to home: block -> outstanding writeback count.
         self.wb_buffer: Dict[int, int] = {}
@@ -204,10 +211,16 @@ class CacheController:
         mshr = MSHR(block, True, is_upgrade, self.sim.now)
         mshr.is_prefetch = True
         self.mshrs[block] = mshr
+        home = self.home_of(block)
+        if self.tracer is not None:
+            mshr.trace = self.tracer.open(
+                self.node, block, home, "prefetch", self.sim.now
+            )
         self.transport.send(
             CoherenceMessage(
-                src=self.node, dst=self.home_of(block), kind=MsgKind.RXQ,
+                src=self.node, dst=home, kind=MsgKind.RXQ,
                 block=block, requester=self.node, src_is_cache=True,
+                trace=mshr.trace,
             )
         )
         return True
@@ -226,10 +239,15 @@ class CacheController:
         mshr.waiters.append(("w" if is_write else "r", done))
         self.mshrs[block] = mshr
         kind = MsgKind.RXQ if is_write else MsgKind.RR
+        home = self.home_of(block)
+        if self.tracer is not None:
+            op = "upgrade" if is_upgrade else ("write" if is_write else "read")
+            mshr.trace = self.tracer.open(self.node, block, home, op, self.sim.now)
         self.transport.send(
             CoherenceMessage(
-                src=self.node, dst=self.home_of(block), kind=kind,
+                src=self.node, dst=home, kind=kind,
                 block=block, requester=self.node, src_is_cache=True,
+                trace=mshr.trace,
             )
         )
 
@@ -381,6 +399,12 @@ class CacheController:
             self.last_read_version = mshr.version
             self._lost_to_inv.add(block)
 
+        if mshr.trace:
+            self.tracer.close_span(
+                mshr.trace,
+                self.sim.now,
+                None if consume_once else mshr.fill_state.name,
+            )
         del self.mshrs[block]
 
         # Wake local processor operations first (program order), then any
@@ -418,6 +442,11 @@ class CacheController:
         if line is not None and line.state is CacheState.SHARED:
             line.invalidate()
             self._lost_to_inv.add(block)
+            if self.tracer is not None and msg.trace:
+                self.tracer.transition(
+                    msg.trace, self.sim.now, f"cache{self.node}",
+                    "SHARED", "INVALID",
+                )
         elif line is not None:
             raise SimulationError(
                 f"cache {self.node}: Inv for {line.state} line, block {block}"
@@ -433,6 +462,7 @@ class CacheController:
             CoherenceMessage(
                 src=self.node, dst=msg.requester, kind=MsgKind.IACK,
                 block=block, requester=msg.requester, src_is_cache=True,
+                trace=msg.trace,
             )
         )
 
@@ -465,18 +495,25 @@ class CacheController:
         ):
             self._fault_evict_and_nak(block, line, msg)
             return
+        if self.tracer is not None and msg.trace:
+            self.tracer.transition(
+                msg.trace, self.sim.now, f"cache{self.node}",
+                "DIRTY", "INVALID" if exclusive else "SHARED",
+            )
         if exclusive:
             self._send_after_service(
                 CoherenceMessage(
                     src=self.node, dst=msg.requester, kind=MsgKind.RXP,
                     block=block, requester=msg.requester,
                     version=line.version, n_invals=0, src_is_cache=True,
+                    trace=msg.trace,
                 )
             )
             self._send_after_service(
                 CoherenceMessage(
                     src=self.node, dst=self.home_of(block), kind=MsgKind.XFER,
                     block=block, requester=msg.requester, src_is_cache=True,
+                    trace=msg.trace,
                 )
             )
             self.checker.release_writable(self.node, block)
@@ -488,6 +525,7 @@ class CacheController:
                     src=self.node, dst=msg.requester, kind=MsgKind.RP,
                     block=block, requester=msg.requester,
                     version=line.version, src_is_cache=True,
+                    trace=msg.trace,
                 )
             )
             self._send_after_service(
@@ -495,6 +533,7 @@ class CacheController:
                     src=self.node, dst=self.home_of(block), kind=MsgKind.SW,
                     block=block, requester=msg.requester,
                     version=line.version, src_is_cache=True,
+                    trace=msg.trace,
                 )
             )
             self.checker.release_writable(self.node, block)
@@ -533,11 +572,17 @@ class CacheController:
             line.state = CacheState.SHARED
             line.replace_locked = False
             self.checker.release_writable(self.node, block)
+            if self.tracer is not None and msg.trace:
+                self.tracer.transition(
+                    msg.trace, self.sim.now, f"cache{self.node}",
+                    "MIGRATING", "SHARED",
+                )
             self._send_after_service(
                 CoherenceMessage(
                     src=self.node, dst=msg.requester, kind=MsgKind.RP,
                     block=block, requester=msg.requester,
                     version=line.version, src_is_cache=True,
+                    trace=msg.trace,
                 )
             )
             self._send_after_service(
@@ -545,6 +590,7 @@ class CacheController:
                     src=self.node, dst=self.home_of(block), kind=MsgKind.NOMIG,
                     block=block, requester=msg.requester,
                     version=line.version, src_is_cache=True,
+                    trace=msg.trace,
                 )
             )
             return
@@ -553,17 +599,24 @@ class CacheController:
                 f"cache {self.node}: Mr for {line.state} line, block {block}"
             )
         # Give up ownership: data to the requester, dirty-transfer to home.
+        if self.tracer is not None and msg.trace:
+            self.tracer.transition(
+                msg.trace, self.sim.now, f"cache{self.node}",
+                line.state.name, "INVALID",
+            )
         self._send_after_service(
             CoherenceMessage(
                 src=self.node, dst=msg.requester, kind=MsgKind.MACK,
                 block=block, requester=msg.requester,
                 version=line.version, miack_needed=True, src_is_cache=True,
+                trace=msg.trace,
             )
         )
         self._send_after_service(
             CoherenceMessage(
                 src=self.node, dst=self.home_of(block), kind=MsgKind.DT,
                 block=block, requester=msg.requester, src_is_cache=True,
+                trace=msg.trace,
             )
         )
         self.checker.release_writable(self.node, block)
@@ -605,6 +658,7 @@ class CacheController:
             CoherenceMessage(
                 src=self.node, dst=self.home_of(msg.block), kind=MsgKind.NAK,
                 block=msg.block, requester=msg.requester, src_is_cache=True,
+                trace=msg.trace,
             )
         )
 

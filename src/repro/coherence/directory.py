@@ -71,6 +71,7 @@ class DirectoryController:
         policy: ProtocolPolicy,
         counters: Counters,
         profiler=None,
+        tracer=None,
     ) -> None:
         self.node = node
         self.sim = sim
@@ -96,8 +97,20 @@ class DirectoryController:
         #: Optional per-block sharing profiler
         #: (:class:`repro.stats.block_profile.BlockProfiler`).
         self.profiler = profiler
+        #: Optional :class:`~repro.obs.tracer.TransactionTracer`; records
+        #: the directory-state transitions taken by traced transactions.
+        self.tracer = tracer
         self.entries: Dict[int, DirectoryEntry] = {}
         transport.register_directory(node, self.handle)
+
+    def _set_state(self, e: DirectoryEntry, msg: CoherenceMessage, new: DirState) -> None:
+        """Transition ``e`` to ``new``, logging it on the transaction's span."""
+        if self.tracer is not None and msg.trace:
+            self.tracer.transition(
+                msg.trace, self.sim.now, f"dir{self.node}",
+                e.state.name, new.name,
+            )
+        e.state = new
 
     def entry(self, block: int) -> DirectoryEntry:
         e = self.entries.get(block)
@@ -191,7 +204,7 @@ class DirectoryController:
             self.profiler.on_read(block, i)
         if e.state in (DirState.UNCACHED, DirState.SHARED_REMOTE):
             done = self.memory.access(self.sim.now)
-            e.state = DirState.SHARED_REMOTE
+            self._set_state(e, msg, DirState.SHARED_REMOTE)
             e.sharers.add(i)
             e.lw.note_sharer_count(len(e.sharers))
             self._send_at(
@@ -199,7 +212,7 @@ class DirectoryController:
                 CoherenceMessage(
                     src=self.node, dst=i, kind=MsgKind.RP,
                     block=block, requester=i, version=e.version,
-                    src_is_cache=False,
+                    src_is_cache=False, trace=msg.trace,
                 ),
             )
         elif e.state is DirState.MIGRATORY_UNCACHED:
@@ -208,7 +221,7 @@ class DirectoryController:
             # directory is updated before the reply leaves, so no MIack
             # round is needed.
             done = self.memory.access(self.sim.now)
-            e.state = DirState.MIGRATORY_DIRTY
+            self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
             e.owner = i
             e.sharers = set()
             self._send_at(
@@ -216,7 +229,7 @@ class DirectoryController:
                 CoherenceMessage(
                     src=self.node, dst=i, kind=MsgKind.MACK,
                     block=block, requester=i, version=e.version,
-                    miack_needed=False, src_is_cache=False,
+                    miack_needed=False, src_is_cache=False, trace=msg.trace,
                 ),
             )
         elif e.state is DirState.DIRTY_REMOTE:
@@ -238,12 +251,13 @@ class DirectoryController:
         block = msg.block
         if e.state is DirState.UNCACHED:
             done = self.memory.access(self.sim.now)
-            e.state = DirState.DIRTY_REMOTE
+            self._set_state(e, msg, DirState.DIRTY_REMOTE)
             e.owner = i
             e.sharers = set()
             e.lw.record_write(i)
             self._record_inval_count(0, block, i)
-            self._send_rxp(done, i, block, n_invals=0, version=e.version)
+            self._send_rxp(done, i, block, n_invals=0, version=e.version,
+                           trace=msg.trace)
         elif e.state is DirState.SHARED_REMOTE:
             others = e.sharers - {i}
             nominate = self.policy.adaptive and should_nominate(
@@ -252,14 +266,15 @@ class DirectoryController:
             done = self.memory.access(self.sim.now)
             if nominate:
                 self._c_nominations.inc()
-                e.state = DirState.MIGRATORY_DIRTY
+                self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
             else:
-                e.state = DirState.DIRTY_REMOTE
+                self._set_state(e, msg, DirState.DIRTY_REMOTE)
             e.owner = i
             e.sharers = set()
             e.lw.record_write(i)
             self._record_inval_count(len(others), block, i)
-            self._send_rxp(done, i, block, n_invals=len(others), version=e.version)
+            self._send_rxp(done, i, block, n_invals=len(others), version=e.version,
+                           trace=msg.trace)
             for sharer in others:
                 self._c_invalidations_sent.inc()
                 self._send_at(
@@ -267,6 +282,7 @@ class DirectoryController:
                     CoherenceMessage(
                         src=self.node, dst=sharer, kind=MsgKind.INV,
                         block=block, requester=i, src_is_cache=False,
+                        trace=msg.trace,
                     ),
                 )
         elif e.state is DirState.DIRTY_REMOTE:
@@ -293,13 +309,14 @@ class DirectoryController:
             done = self.memory.access(self.sim.now)
             if self.policy.rxq_reverts_to_ordinary:
                 self._c_rxq_demotions.inc()
-                e.state = DirState.DIRTY_REMOTE
+                self._set_state(e, msg, DirState.DIRTY_REMOTE)
                 e.lw.record_write(i)
             else:
-                e.state = DirState.MIGRATORY_DIRTY
+                self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
             e.owner = i
             e.sharers = set()
-            self._send_rxp(done, i, block, n_invals=0, version=e.version)
+            self._send_rxp(done, i, block, n_invals=0, version=e.version,
+                           trace=msg.trace)
         else:  # pragma: no cover - exhaustive
             raise SimulationError(f"bad state {e.state} for {msg!r}")
 
@@ -309,7 +326,7 @@ class DirectoryController:
     def _on_sharing_writeback(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
         """Sw: owner downgraded to Shared after a forwarded read."""
         self._check_inflight(e, msg)
-        e.state = DirState.SHARED_REMOTE
+        self._set_state(e, msg, DirState.SHARED_REMOTE)
         e.version = msg.version
         e.sharers = {msg.src, msg.requester}
         e.owner = None
@@ -326,7 +343,7 @@ class DirectoryController:
         """
         self._check_inflight(e, msg)
         done = self.memory.directory_access(self.sim.now)
-        e.state = DirState.DIRTY_REMOTE
+        self._set_state(e, msg, DirState.DIRTY_REMOTE)
         e.owner = msg.requester
         e.sharers = set()
         e.lw.record_write(msg.requester)
@@ -335,6 +352,7 @@ class DirectoryController:
             CoherenceMessage(
                 src=self.node, dst=msg.requester, kind=MsgKind.MIACK,
                 block=msg.block, requester=msg.requester, src_is_cache=False,
+                trace=msg.trace,
             ),
         )
         self._complete(e)
@@ -344,10 +362,10 @@ class DirectoryController:
         _inflight_msg, demote = self._check_inflight(e, msg)
         done = self.memory.directory_access(self.sim.now)
         if demote:
-            e.state = DirState.DIRTY_REMOTE
+            self._set_state(e, msg, DirState.DIRTY_REMOTE)
             e.lw.record_write(msg.requester)
         else:
-            e.state = DirState.MIGRATORY_DIRTY
+            self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
         e.owner = msg.requester
         e.sharers = set()
         # Home's directory is now updated; release the requester's
@@ -357,6 +375,7 @@ class DirectoryController:
             CoherenceMessage(
                 src=self.node, dst=msg.requester, kind=MsgKind.MIACK,
                 block=msg.block, requester=msg.requester, src_is_cache=False,
+                trace=msg.trace,
             ),
         )
         self._complete(e)
@@ -369,7 +388,7 @@ class DirectoryController:
         """
         self._check_inflight(e, msg)
         self._c_nomig_reverts.inc()
-        e.state = DirState.SHARED_REMOTE
+        self._set_state(e, msg, DirState.SHARED_REMOTE)
         e.version = msg.version
         e.sharers = {msg.src, msg.requester}
         e.owner = None
@@ -442,6 +461,7 @@ class DirectoryController:
                 src=self.node, dst=e.owner, kind=kind,
                 block=msg.block, requester=msg.requester,
                 for_write=for_write, src_is_cache=False,
+                trace=msg.trace,
             ),
         )
 
@@ -502,7 +522,8 @@ class DirectoryController:
             self.profiler.on_write(block, requester, count)
 
     def _send_rxp(
-        self, at: int, dst: int, block: int, *, n_invals: int, version: int
+        self, at: int, dst: int, block: int, *, n_invals: int, version: int,
+        trace: int = 0,
     ) -> None:
         # Home updates the directory before replying, so no replacement
         # lock is needed (miack_needed=False); only owner-to-owner
@@ -513,6 +534,7 @@ class DirectoryController:
                 src=self.node, dst=dst, kind=MsgKind.RXP,
                 block=block, requester=dst, version=version,
                 n_invals=n_invals, miack_needed=False, src_is_cache=False,
+                trace=trace,
             ),
         )
 

@@ -158,6 +158,7 @@ class CoherenceMessage(NetworkMessage):
         "miack_needed",
         "src_is_cache",
         "retained",
+        "trace",
     )
 
     #: Free list of recycled instances (class-level, bounded).
@@ -195,6 +196,12 @@ class CoherenceMessage(NetworkMessage):
         miack_needed: bool = True,
         #: True when the sending endpoint is a cache (affects local-bus timing).
         src_is_cache: bool = True,
+        #: Transaction trace id (0 = untraced).  Responses produced on
+        #: behalf of a traced request copy the id forward so the tracer
+        #: can follow the transaction across controllers; the pool resets
+        #: it on every reuse, so a recycled message can never leak an old
+        #: transaction's id.
+        trace: int = 0,
     ) -> None:
         NetworkMessage.__init__(self, src, dst, kind.bits, uid, sent_at, delivered_at)
         self.kind = kind
@@ -206,6 +213,7 @@ class CoherenceMessage(NetworkMessage):
         self.miack_needed = miack_needed
         self.src_is_cache = src_is_cache
         self.retained = False
+        self.trace = trace
 
     def release(self) -> None:
         """Return this instance to the free list (caller forfeits it)."""

@@ -70,6 +70,10 @@ class Transport:
         #: In-flight census: id(msg) -> (msg, injection time).  A message
         #: is in flight from ``send`` until its handler dispatch.
         self._inflight: Dict[int, Tuple[CoherenceMessage, int]] = {}
+        #: Optional :class:`~repro.obs.tracer.TransactionTracer` notified
+        #: at every injection and dispatch of a traced message.  ``None``
+        #: keeps the hot path to one attribute test per hook site.
+        self.tracer = None
         self._faults = faults
         if faults is not None:
             faults.bind_transport(self)
@@ -98,6 +102,9 @@ class Transport:
 
     def _send_now(self, msg: CoherenceMessage) -> None:
         """Perform the actual bus/mesh injection of ``msg``."""
+        tracer = self.tracer
+        if tracer is not None and msg.trace:
+            tracer.on_send(msg, self.sim.now)
         kind = msg.kind
         carries_data = kind.carries_data
         if carries_data:
@@ -145,6 +152,10 @@ class Transport:
 
     def _dispatch(self, msg: CoherenceMessage) -> None:
         self._inflight.pop(id(msg), None)
+        tracer = self.tracer
+        if tracer is not None and msg.trace:
+            # Before the handler: it may consume and recycle the message.
+            tracer.on_dispatch(msg, self.sim.now)
         handlers = (
             self._directory_handlers if msg.kind.to_directory else self._cache_handlers
         )

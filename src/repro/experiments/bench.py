@@ -211,6 +211,43 @@ def compare_bench_results(old: dict, new: dict) -> List[str]:
     return problems
 
 
+def timing_regressions(old: dict, new: dict, tolerance: float) -> List[str]:
+    """Wall-time drift gate: runs slower by more than ``tolerance``.
+
+    ``tolerance`` is a relative threshold (0.25 = fail when a run got more
+    than 25% slower than the baseline).  Unlike
+    :func:`compare_bench_results` — which is a hard gate on deterministic
+    simulation outputs — timing is a host-dependent measurement, so this
+    gate is opt-in (``repro-sim bench --tolerance``) and compares both the
+    per-run and the total serial wall time.  Returns one line per
+    violation; empty list = within tolerance.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative, got {tolerance!r}")
+    problems: List[str] = []
+    old_runs: Dict[str, dict] = {run["label"]: run for run in old["runs"]}
+    for run in new["runs"]:
+        before = old_runs.get(run["label"])
+        if before is None or before.get("wall_time_s", 0) <= 0:
+            continue
+        delta = (run["wall_time_s"] - before["wall_time_s"]) / before["wall_time_s"]
+        if delta > tolerance:
+            problems.append(
+                f"{run['label']}: wall time {before['wall_time_s']:.2f} s -> "
+                f"{run['wall_time_s']:.2f} s ({delta:+.1%} > {tolerance:.0%})"
+            )
+    old_total = old.get("serial_wall_time_s", 0)
+    new_total = new.get("serial_wall_time_s", 0)
+    if old_total > 0:
+        delta = (new_total - old_total) / old_total
+        if delta > tolerance:
+            problems.append(
+                f"total serial wall: {old_total:.2f} s -> {new_total:.2f} s "
+                f"({delta:+.1%} > {tolerance:.0%})"
+            )
+    return problems
+
+
 def diff_bench(old: dict, new: dict) -> str:
     """Compare two snapshots run-by-run (positive delta = slower now)."""
     old_runs: Dict[str, dict] = {run["label"]: run for run in old["runs"]}

@@ -12,7 +12,8 @@ Artifact schema (``repro-profile/1``)::
     {
       "schema": "repro-profile/1",
       "workload": "mp3d", "policy": "AD", "preset": "tiny",
-      "consistency": "SC",
+      "consistency": "SC", "seed": 42, "check_coherence": true,
+      "machine": {"nodes": 16, "mesh": "4x4", "cache_size": 65536, ...},
       "wall_time_s": 1.23,
       "events_processed": 36250,
       "events_per_sec": 29471,
@@ -36,6 +37,7 @@ from typing import List, Optional, Union
 from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
 from repro.core.policy import ProtocolPolicy
 from repro.experiments.runner import run_workload
+from repro.machine.config import MachineConfig
 
 PROFILE_SCHEMA = "repro-profile/1"
 
@@ -54,6 +56,7 @@ def profile_run(
     preset: str = "tiny",
     consistency: ConsistencyModel = SEQUENTIAL_CONSISTENCY,
     check_coherence: bool = True,
+    seed: int = 42,
     top: int = 25,
     sort: str = "tottime",
 ) -> dict:
@@ -68,6 +71,7 @@ def profile_run(
         preset=preset,
         consistency=consistency,
         check_coherence=check_coherence,
+        seed=seed,
     )
     profiler.disable()
 
@@ -95,12 +99,26 @@ def profile_run(
         )
 
     events = result.events_processed
+    # Record everything needed to reproduce the run: a profile artifact
+    # read months later must answer "what exactly was measured?" itself.
+    machine = MachineConfig.dash_default()
     return {
         "schema": PROFILE_SCHEMA,
         "workload": workload,
         "policy": result.policy_name,
         "consistency": result.consistency_name,
         "preset": preset,
+        "seed": seed,
+        "check_coherence": check_coherence,
+        "machine": {
+            "nodes": machine.num_nodes,
+            "mesh": f"{machine.mesh_width}x{machine.mesh_height}",
+            "cache_size": machine.cache_size,
+            "line_size": machine.line_size,
+            "associativity": machine.associativity,
+            "memory_cycle": machine.memory_cycle,
+            "directory_cycle": machine.directory_cycle,
+        },
         "sort": sort,
         "wall_time_s": round(wall, 4),
         "events_processed": events,

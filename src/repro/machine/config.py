@@ -70,6 +70,18 @@ class MachineConfig:
     #: no processor retires an operation for this many pclocks while
     #: events keep firing (None = disabled).
     watchdog_window: Optional[int] = None
+    #: Span-based transaction tracing (``machine.tracer``): record every
+    #: coherence miss as a span with per-segment latency attribution.
+    #: False keeps the machine byte-identical to a build without tracing.
+    trace: bool = False
+    #: Retained-span budget when tracing (beyond it spans still feed the
+    #: latency aggregates but their per-span detail is dropped).
+    trace_max_spans: int = 200_000
+    #: Sample machine metrics (queue depths, occupancy) every this many
+    #: pclocks into ``machine.metrics.ring`` (None = no sampling).
+    metrics_interval: Optional[int] = None
+    #: Ring-buffer bound on retained metric samples.
+    metrics_capacity: int = 4096
 
     @property
     def num_nodes(self) -> int:

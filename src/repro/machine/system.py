@@ -27,6 +27,8 @@ from repro.memory.bus import LocalBus
 from repro.memory.cache import CacheArray
 from repro.memory.dram import MemoryModule
 from repro.network.interface import Fabric
+from repro.obs.timeseries import MetricsSampler
+from repro.obs.tracer import TransactionTracer
 from repro.sim.engine import DeadlockError, Simulator
 from repro.stats.block_profile import BlockProfiler
 from repro.stats.breakdown import StallBreakdown
@@ -47,6 +49,9 @@ class RunResult:
     events_processed: int
     policy_name: str
     consistency_name: str
+    #: Miss-latency attribution summary (``TransactionTracer.summary()``)
+    #: when the machine was built with ``trace=True``; None otherwise.
+    latency: Optional[Dict] = None
 
     @property
     def aggregate_breakdown(self) -> StallBreakdown:
@@ -100,6 +105,22 @@ class Machine:
         )
         self.checker = CoherenceChecker(enabled=cfg.check_coherence)
         self.block_profiler = BlockProfiler() if cfg.profile_blocks else None
+        #: Span tracer (None unless ``trace=True``: the hook sites in the
+        #: transport and controllers then collapse to one ``is None`` test).
+        self.tracer = (
+            TransactionTracer(
+                policy_name=cfg.policy.name, max_spans=cfg.trace_max_spans
+            )
+            if cfg.trace
+            else None
+        )
+        self.transport.tracer = self.tracer
+        #: Periodic metrics sampler (None unless ``metrics_interval`` set).
+        self.metrics = (
+            MetricsSampler(self, cfg.metrics_interval, cfg.metrics_capacity)
+            if cfg.metrics_interval
+            else None
+        )
         self.memories = [
             MemoryModule(
                 self.sim,
@@ -117,7 +138,7 @@ class Machine:
         self.directories = [
             DirectoryController(
                 n, self.sim, self.transport, self.memories[n], cfg.policy,
-                self.counters, profiler=self.block_profiler,
+                self.counters, profiler=self.block_profiler, tracer=self.tracer,
             )
             for n in range(cfg.num_nodes)
         ]
@@ -133,6 +154,7 @@ class Machine:
                 self.counters,
                 service_delay=cfg.cache_service_delay,
                 faults=self.fault_plan,
+                tracer=self.tracer,
             )
             for n in range(cfg.num_nodes)
         ]
@@ -163,6 +185,8 @@ class Machine:
             )
         for processor, program in zip(self.processors, programs):
             processor.start(program)
+        if self.metrics is not None:
+            self.metrics.start()
         self.sim.run()
         unfinished = [p.node for p in self.processors if not p.done]
         if unfinished:
@@ -230,4 +254,5 @@ class Machine:
             events_processed=self.sim.events_processed,
             policy_name=self.config.policy.name,
             consistency_name=self.config.consistency.name,
+            latency=self.tracer.summary() if self.tracer is not None else None,
         )

@@ -1,0 +1,38 @@
+"""Observability: transaction tracing, latency attribution, time-series.
+
+``repro.obs`` is the layer that answers *where did the miss cycles go*:
+
+* :class:`~repro.obs.tracer.TransactionTracer` — per-transaction spans
+  with per-segment cycle attribution and state-transition logs;
+* :class:`~repro.obs.timeseries.MetricsSampler` — periodic occupancy /
+  queue-depth snapshots into a bounded ring buffer;
+* :mod:`repro.obs.export` — Chrome-trace (Perfetto) and JSON/CSV export.
+
+Everything here is opt-in: a machine built without ``trace=True`` and
+without a metrics interval runs byte-identically to one predating this
+package.
+"""
+
+from repro.obs.span import OPS, SEGMENTS, Span
+from repro.obs.tracer import TransactionTracer, render_latency_summary
+from repro.obs.timeseries import MetricsRing, MetricsSampler
+from repro.obs.export import (
+    chrome_trace,
+    spans_to_json,
+    validate_trace_events,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "OPS",
+    "SEGMENTS",
+    "Span",
+    "TransactionTracer",
+    "render_latency_summary",
+    "MetricsRing",
+    "MetricsSampler",
+    "chrome_trace",
+    "spans_to_json",
+    "validate_trace_events",
+    "write_chrome_trace",
+]

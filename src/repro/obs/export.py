@@ -1,0 +1,222 @@
+"""Trace export: Chrome trace_events (Perfetto) and plain JSON.
+
+:func:`chrome_trace` converts a :class:`~repro.obs.tracer.TransactionTracer`
+(and optionally a :class:`~repro.obs.timeseries.MetricsRing`) into the
+Chrome ``trace_events`` JSON format, which https://ui.perfetto.dev and
+``chrome://tracing`` open directly:
+
+* every node becomes a *process* row;
+* concurrent transactions on a node are laid out on per-node lanes
+  (*threads*), assigned first-fit so overlapping spans never collide;
+* each transaction is a complete (``ph: "X"``) slice spanning the whole
+  miss, with one nested child slice per attributed segment
+  (``request_net``, ``directory``, ``memory``, ...);
+* coherence state transitions ride along as instant events, and metric
+  samples become counter (``ph: "C"``) tracks.
+
+Timestamps: the simulator counts pclocks (1 pclock = 10 ns at the
+paper's 100 MHz clock); trace_events wants microseconds, so ``ts`` and
+``dur`` are scaled by 0.01.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+#: Microseconds per pclock (10 ns at the paper's 100 MHz clock).
+US_PER_PCLOCK = 0.01
+
+#: Counter columns worth plotting from a metrics ring (name -> column).
+_COUNTER_COLUMNS = (
+    "events_queued",
+    "mshrs",
+    "dir_pending",
+    "msgs_inflight",
+    "bus_util",
+    "mem_util",
+    "req_net_util",
+    "reply_net_util",
+)
+
+
+def spans_to_json(tracer, *, limit: Optional[int] = None) -> dict:
+    """Plain-JSON dump of the tracer: summary plus raw spans."""
+    spans = tracer.spans if limit is None else tracer.spans[:limit]
+    return {
+        "schema": "repro-trace/1",
+        "summary": tracer.summary(),
+        "spans": [span.to_json() for span in spans],
+    }
+
+
+def chrome_trace(tracer, metrics=None) -> dict:
+    """Build a Chrome trace_events document from closed spans.
+
+    ``metrics`` is an optional :class:`~repro.obs.timeseries.MetricsRing`
+    whose samples become counter tracks.
+    """
+    events: List[dict] = []
+    nodes = sorted({span.node for span in tracer.spans})
+    for node in nodes:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": node,
+                "tid": 0,
+                "args": {"name": f"node {node}"},
+            }
+        )
+    # First-fit lane assignment per node: a lane is free for a span if the
+    # previous span on it ended at or before this one's start.  Spans are
+    # closed in end-time order, so sort by start for the sweep.
+    lane_free_at: Dict[int, List[int]] = {node: [] for node in nodes}
+    named_lanes = set()
+    for span in sorted(tracer.spans, key=lambda s: (s.start, s.end, s.trace_id)):
+        lanes = lane_free_at[span.node]
+        for lane, free_at in enumerate(lanes):
+            if free_at <= span.start:
+                break
+        else:
+            lane = len(lanes)
+            lanes.append(0)
+        lanes[lane] = span.end
+        tid = lane + 1
+        if (span.node, tid) not in named_lanes:
+            named_lanes.add((span.node, tid))
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": span.node,
+                    "tid": tid,
+                    "args": {"name": f"miss lane {lane}"},
+                }
+            )
+        args = {
+            "trace_id": span.trace_id,
+            "block": hex(span.block),
+            "home": span.home,
+            "latency_pclocks": span.latency,
+            "segments_pclocks": dict(span.segments),
+            "served_by": span.served_by,
+            "fill_state": span.fill_state,
+            "invalidations": span.n_invals,
+            "naks": span.n_naks,
+        }
+        if span.transitions:
+            args["transitions"] = [
+                f"t={t} {site}:{frm}->{to}" for t, site, frm, to in span.transitions
+            ]
+        events.append(
+            {
+                "ph": "X",
+                "name": f"{span.op} 0x{span.block:x}",
+                "cat": "transaction",
+                "pid": span.node,
+                "tid": tid,
+                "ts": span.start * US_PER_PCLOCK,
+                "dur": span.latency * US_PER_PCLOCK,
+                "args": args,
+            }
+        )
+        for label, begin, end in span.intervals:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": label,
+                    "cat": "segment",
+                    "pid": span.node,
+                    "tid": tid,
+                    "ts": begin * US_PER_PCLOCK,
+                    "dur": (end - begin) * US_PER_PCLOCK,
+                    "args": {"trace_id": span.trace_id},
+                }
+            )
+        for t, site, frm, to in span.transitions:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": f"{site}:{frm}->{to}",
+                    "cat": "transition",
+                    "pid": span.node,
+                    "tid": tid,
+                    "ts": t * US_PER_PCLOCK,
+                    "s": "t",
+                    "args": {"trace_id": span.trace_id},
+                }
+            )
+    if metrics is not None and len(metrics):
+        index = {name: metrics.columns.index(name)
+                 for name in _COUNTER_COLUMNS if name in metrics.columns}
+        time_col = metrics.columns.index("time")
+        for row in metrics.rows:
+            for name, col in index.items():
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": name,
+                        "pid": 0,
+                        "tid": 0,
+                        "ts": row[time_col] * US_PER_PCLOCK,
+                        "args": {"value": row[col]},
+                    }
+                )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "schema": "repro-chrome-trace/1",
+            "policy": tracer.policy_name,
+            "spans": len(tracer.spans),
+            "spans_dropped": tracer.dropped,
+            "pclock_us": US_PER_PCLOCK,
+        },
+    }
+
+
+def write_chrome_trace(tracer, path: str, metrics=None) -> dict:
+    """Write :func:`chrome_trace` output to ``path``; returns the document."""
+    doc = chrome_trace(tracer, metrics)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+def validate_trace_events(doc: dict) -> int:
+    """Validate a trace_events document's schema; return the event count.
+
+    Raises :class:`ValueError` on the first malformed event.  This is the
+    check the CI trace-smoke job runs on exported artifacts.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"trace document must be a dict, got {type(doc).__name__}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document missing 'traceEvents' list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M", "C", "i", "b", "e", "B", "E"):
+            raise ValueError(f"event {i} has unknown phase {ph!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"event {i} has no name")
+        if ph == "M":
+            continue
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"event {i} ({ph}) has non-integer {key!r}")
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"event {i} ({ph}) has non-numeric ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} (X) has invalid dur {dur!r}")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"event {i} (C) has no counter args")
+    return len(events)

@@ -1,0 +1,178 @@
+"""Per-transaction trace spans.
+
+A :class:`Span` covers one coherence transaction from the moment a cache
+controller opens an MSHR (miss, upgrade, or exclusive prefetch) to the
+moment the transaction retires.  Along the way the tracer *marks* the
+span at each critical-path checkpoint — request arriving at home, the
+forward leaving the directory, the data reply leaving its source, the
+reply arriving back at the requester — and the span attributes the cycles
+between consecutive checkpoints to a named segment.
+
+Because every checkpoint lies on the causal chain of the transaction,
+marks are monotone in simulated time and the per-segment cycles tile the
+span exactly::
+
+    sum(span.segments.values()) == span.latency
+
+which is the invariant the acceptance tests (and the Figure 5/6 stall
+decomposition this subsystem feeds) rely on.
+
+Segment vocabulary
+------------------
+
+``request_net``   requester cache -> home (local bus + request mesh)
+``directory``     home directory service (lookup, queueing behind a busy
+                  entry, NAK-retry wait for a racing writeback)
+``memory``        home data-array access for memory-served replies
+``owner_forward`` forward traversal + remote owner's cache service
+``reply_net``     data reply -> requester (reply mesh + local bus)
+``local_cache``   fill handling at the requester (frame eviction,
+                  invalidation-ack collection, MIack replacement locks)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Segment labels in presentation order.
+SEGMENTS: Tuple[str, ...] = (
+    "request_net",
+    "directory",
+    "memory",
+    "owner_forward",
+    "reply_net",
+    "local_cache",
+)
+
+#: Miss-type labels (``Span.op``).
+OPS: Tuple[str, ...] = ("read", "write", "upgrade", "prefetch")
+
+
+class Span:
+    """One traced coherence transaction."""
+
+    __slots__ = (
+        "trace_id",
+        "node",
+        "block",
+        "home",
+        "op",
+        "start",
+        "end",
+        "segments",
+        "intervals",
+        "events",
+        "transitions",
+        "n_invals",
+        "n_naks",
+        "served_by",
+        "fill_state",
+        "_cursor",
+    )
+
+    def __init__(
+        self, trace_id: int, node: int, block: int, home: int, op: str, start: int
+    ) -> None:
+        self.trace_id = trace_id
+        self.node = node
+        self.block = block
+        self.home = home
+        #: "read" | "write" | "upgrade" | "prefetch".
+        self.op = op
+        self.start = start
+        self.end: Optional[int] = None
+        #: Cycles attributed to each segment (accumulated across marks, so
+        #: a NAK-retry loop adds to ``directory`` / ``owner_forward``).
+        self.segments: Dict[str, int] = {}
+        #: (label, start, end) checkpoint intervals in causal order — the
+        #: raw material for the Perfetto export.
+        self.intervals: List[Tuple[str, int, int]] = []
+        #: Message log: (time, "send" | "recv", kind value, src, dst).
+        self.events: List[Tuple[int, str, str, int, int]] = []
+        #: Coherence state transitions taken: (time, site, from, to).
+        self.transitions: List[Tuple[int, str, str, str]] = []
+        #: Invalidations sent on behalf of this transaction.
+        self.n_invals = 0
+        #: NAKed forwards (writeback race retries).
+        self.n_naks = 0
+        #: Who supplied the data: "memory", "owner", or "migratory".
+        self.served_by: Optional[str] = None
+        #: Cache state the line was installed in (None for consume-once).
+        self.fill_state: Optional[str] = None
+        self._cursor = start
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def mark(self, label: str, time: int) -> None:
+        """Attribute the cycles since the previous checkpoint to ``label``.
+
+        Checkpoints sit on the transaction's causal chain, so ``time``
+        never precedes the cursor; a zero-length interval (two checkpoints
+        in the same pclock) is recorded in ``segments`` but produces no
+        interval tuple.
+        """
+        delta = time - self._cursor
+        if delta < 0:  # pragma: no cover - would break the tiling invariant
+            raise ValueError(
+                f"span {self.trace_id}: non-monotone mark {label!r} at "
+                f"t={time} (cursor {self._cursor})"
+            )
+        self.segments[label] = self.segments.get(label, 0) + delta
+        if delta:
+            self.intervals.append((label, self._cursor, time))
+        self._cursor = time
+
+    def note_event(self, time: int, what: str, kind: str, src: int, dst: int) -> None:
+        self.events.append((time, what, kind, src, dst))
+
+    def note_transition(self, time: int, site: str, frm: str, to: str) -> None:
+        self.transitions.append((time, site, frm, to))
+
+    def close(self, time: int, fill_state: Optional[str]) -> None:
+        """Final checkpoint: the transaction retired at the requester."""
+        self.mark("local_cache", time)
+        self.end = time
+        self.fill_state = fill_state
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def latency(self) -> int:
+        """Measured miss latency in pclocks (open -> retire)."""
+        if self.end is None:
+            raise ValueError(f"span {self.trace_id} still open")
+        return self.end - self.start
+
+    def to_json(self) -> dict:
+        """Plain-dict form for the spans artifact."""
+        return {
+            "trace_id": self.trace_id,
+            "node": self.node,
+            "block": self.block,
+            "home": self.home,
+            "op": self.op,
+            "start": self.start,
+            "end": self.end,
+            "latency": self.end - self.start if self.end is not None else None,
+            "served_by": self.served_by,
+            "fill_state": self.fill_state,
+            "n_invals": self.n_invals,
+            "n_naks": self.n_naks,
+            "segments": dict(self.segments),
+            "intervals": [list(i) for i in self.intervals],
+            "events": [list(e) for e in self.events],
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = f"end={self.end}" if self.end is not None else "open"
+        return (
+            f"<Span {self.trace_id} {self.op} blk={self.block} "
+            f"node={self.node} start={self.start} {status}>"
+        )

@@ -1,0 +1,231 @@
+"""Span-based coherence transaction tracer.
+
+The tracer threads a small integer trace id through the machine: the
+cache controller opens a span when it opens an MSHR and stamps the id on
+the outgoing request; every response a handler produces on behalf of that
+transaction copies the id forward (request -> forward -> reply -> acks),
+so the transport can notify the tracer at each injection and delivery.
+From those notifications the tracer reconstructs the transaction's
+critical path and attributes every cycle of the miss to one of the
+:data:`~repro.obs.span.SEGMENTS`.
+
+Critical-path checkpoints
+-------------------------
+
+============================  =========================  ==================
+observation                   where                      segment marked
+============================  =========================  ==================
+``Rr``/``Rxq`` delivered      home directory             ``request_net``
+``FwdRr``/``FwdRxq``/``Mr``   injected by home           ``directory``
+``Rp``/``Rxp``/``Mack`` sent  injected by home memory    ``memory``
+``Rp``/``Rxp``/``Mack`` sent  injected by owner cache    ``owner_forward``
+``Nak`` delivered             home directory             ``owner_forward``
+data reply delivered          requester cache            ``reply_net``
+transaction retired           requester cache            ``local_cache``
+============================  =========================  ==================
+
+Marks accumulate, so a NAK-retry loop (forward raced a writeback) keeps
+adding to ``directory``/``owner_forward`` until the retry succeeds, and
+the tiling invariant ``sum(segments) == latency`` holds regardless of how
+many rounds the transaction took.
+
+The tracer is opt-in: with no tracer attached every hook site is a single
+``is None`` test (and messages carry ``trace == 0``), so a disabled run
+is byte-identical to a build without tracing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coherence.messages import CoherenceMessage, MsgKind
+from repro.obs.span import OPS, SEGMENTS, Span
+
+#: Data-reply kinds that complete the miss at the requester.
+_REPLY_KINDS = (MsgKind.RP, MsgKind.RXP, MsgKind.MACK)
+
+
+class TransactionTracer:
+    """Collects spans for every coherence transaction of one run."""
+
+    def __init__(self, policy_name: str = "", max_spans: int = 200_000) -> None:
+        self.policy_name = policy_name
+        #: Retained-span budget; beyond it spans still feed the latency
+        #: aggregates but their detail is dropped (``dropped`` counts them).
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.live: Dict[int, Span] = {}
+        self.dropped = 0
+        self._next_id = 1
+        # Latency aggregates, keyed by op ("read"/"write"/"upgrade"/
+        # "prefetch"): raw latencies plus per-segment cycle sums.
+        self._latencies: Dict[str, List[int]] = {}
+        self._segment_sums: Dict[str, Dict[str, int]] = {}
+        self._served_by: Dict[str, int] = {}
+        self.total_invals = 0
+        self.total_naks = 0
+
+    # ------------------------------------------------------------------
+    # Span lifecycle (cache controller side)
+    # ------------------------------------------------------------------
+    def open(self, node: int, block: int, home: int, op: str, now: int) -> int:
+        """Open a span; returns the trace id to stamp on the request."""
+        trace_id = self._next_id
+        self._next_id += 1
+        self.live[trace_id] = Span(trace_id, node, block, home, op, now)
+        return trace_id
+
+    def close_span(self, trace_id: int, now: int, fill_state: Optional[str]) -> None:
+        """The transaction retired at the requester."""
+        span = self.live.pop(trace_id, None)
+        if span is None:
+            return
+        span.close(now, fill_state)
+        self.total_invals += span.n_invals
+        self.total_naks += span.n_naks
+        if span.served_by is not None:
+            self._served_by[span.served_by] = (
+                self._served_by.get(span.served_by, 0) + 1
+            )
+        self._latencies.setdefault(span.op, []).append(span.latency)
+        sums = self._segment_sums.setdefault(span.op, {})
+        for label, cycles in span.segments.items():
+            sums[label] = sums.get(label, 0) + cycles
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Transport hooks
+    # ------------------------------------------------------------------
+    def on_send(self, msg: CoherenceMessage, now: int) -> None:
+        """A traced message was injected into the transport."""
+        span = self.live.get(msg.trace)
+        if span is None:
+            return
+        kind = msg.kind
+        span.note_event(now, "send", kind.value, msg.src, msg.dst)
+        if kind in _REPLY_KINDS and msg.dst == span.node:
+            # The data reply leaves its source: everything since the last
+            # checkpoint was home memory service or the owner's forward
+            # round (traversal + remote cache service + any deferral).
+            if msg.src_is_cache:
+                span.mark("owner_forward", now)
+                span.served_by = "migratory" if kind is MsgKind.MACK else "owner"
+            else:
+                span.mark("memory", now)
+                span.served_by = "migratory" if kind is MsgKind.MACK else "memory"
+        elif kind in (MsgKind.FWD_RR, MsgKind.FWD_RXQ, MsgKind.MR):
+            # Home decided to forward: directory service ends here.
+            span.mark("directory", now)
+        elif kind is MsgKind.INV:
+            span.n_invals += 1
+
+    def on_dispatch(self, msg: CoherenceMessage, now: int) -> None:
+        """A traced message reached its destination handler."""
+        span = self.live.get(msg.trace)
+        if span is None:
+            return
+        kind = msg.kind
+        span.note_event(now, "recv", kind.value, msg.src, msg.dst)
+        if kind in (MsgKind.RR, MsgKind.RXQ):
+            span.mark("request_net", now)
+        elif kind in _REPLY_KINDS and msg.dst == span.node:
+            span.mark("reply_net", now)
+        elif kind is MsgKind.NAK:
+            # The forward missed (writeback race): the whole failed round
+            # was spent at the owner; the retry restarts directory service.
+            span.mark("owner_forward", now)
+            span.n_naks += 1
+
+    # ------------------------------------------------------------------
+    # Protocol-engine hooks
+    # ------------------------------------------------------------------
+    def transition(self, trace_id: int, now: int, site: str, frm: str, to: str) -> None:
+        """Record a coherence state transition taken for a transaction."""
+        span = self.live.get(trace_id)
+        if span is not None and frm != to:
+            span.note_transition(now, site, frm, to)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Latency histogram + per-segment means, keyed by miss type."""
+        by_op = {}
+        for op in OPS:
+            latencies = self._latencies.get(op)
+            if not latencies:
+                continue
+            ordered = sorted(latencies)
+            count = len(ordered)
+            sums = self._segment_sums.get(op, {})
+            by_op[op] = {
+                "count": count,
+                "mean": round(sum(ordered) / count, 2),
+                "p50": _percentile(ordered, 0.50),
+                "p95": _percentile(ordered, 0.95),
+                "p99": _percentile(ordered, 0.99),
+                "max": ordered[-1],
+                "segment_means": {
+                    label: round(sums[label] / count, 2)
+                    for label in SEGMENTS
+                    if label in sums
+                },
+            }
+        closed = sum(len(v) for v in self._latencies.values())
+        return {
+            "policy": self.policy_name,
+            "spans_closed": closed,
+            "spans_open": len(self.live),
+            "spans_dropped": self.dropped,
+            "invalidations": self.total_invals,
+            "naks": self.total_naks,
+            "served_by": dict(sorted(self._served_by.items())),
+            "by_op": by_op,
+        }
+
+
+def _percentile(ordered: List[int], q: float) -> int:
+    """Nearest-rank percentile of a pre-sorted, non-empty list."""
+    rank = max(1, -(-int(len(ordered) * q * 100) // 100))  # ceil(n * q)
+    rank = min(rank, len(ordered))
+    return ordered[rank - 1]
+
+
+def render_latency_summary(doc: dict) -> str:
+    """Human-readable table for one :meth:`TransactionTracer.summary`."""
+    lines = [
+        f"trace: {doc['spans_closed']:,} transactions "
+        f"({doc['spans_open']} still open, {doc['spans_dropped']} dropped) "
+        f"under {doc['policy'] or 'unknown policy'}",
+        f"invalidations on traced paths: {doc['invalidations']:,}   "
+        f"NAK retries: {doc['naks']:,}",
+    ]
+    if doc["served_by"]:
+        lines.append(
+            "data served by: "
+            + "  ".join(f"{k}={v:,}" for k, v in doc["served_by"].items())
+        )
+    header = (
+        f"{'miss type':<10}{'count':>8}{'mean':>9}{'p50':>7}"
+        f"{'p95':>7}{'p99':>7}{'max':>8}"
+    )
+    lines += ["", header]
+    for op, stats in doc["by_op"].items():
+        lines.append(
+            f"{op:<10}{stats['count']:>8,}{stats['mean']:>9.1f}"
+            f"{stats['p50']:>7,}{stats['p95']:>7,}{stats['p99']:>7,}"
+            f"{stats['max']:>8,}"
+        )
+    lines.append("")
+    lines.append("per-segment mean cycles:")
+    for op, stats in doc["by_op"].items():
+        parts = "  ".join(
+            f"{label}={stats['segment_means'][label]:.1f}"
+            for label in SEGMENTS
+            if label in stats["segment_means"]
+        )
+        lines.append(f"  {op:<10}{parts}")
+    return "\n".join(lines)

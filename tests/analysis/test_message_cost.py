@@ -46,6 +46,29 @@ def test_breakdown_table_covers_both_protocols():
     assert sum(r["bits"] for r in rows if r["protocol"] == "AD") == 328
 
 
+def test_empty_episode_costs_nothing():
+    cost = episode_cost(())
+    assert cost.total_bits == 0
+    assert cost.message_count == 0
+    assert cost.requests == 0
+    assert cost.data_replies == 0
+
+
+def test_header_only_episode_has_no_data_replies():
+    cost = episode_cost((MsgKind.RR, MsgKind.RXQ, MsgKind.IACK))
+    assert cost.data_replies == 0
+    assert cost.requests == 3
+    assert cost.total_bits == 3 * 40
+
+
+def test_episode_bits_for_empty_and_zero_line():
+    from repro.analysis.message_cost import episode_bits_for_line
+
+    assert episode_bits_for_line((), 16) == 0
+    # A zero-byte line degenerates to headers only.
+    assert episode_bits_for_line((MsgKind.RP,), 0) == 40
+
+
 def test_line_size_generalization():
     from repro.analysis.message_cost import (
         episode_bits_for_line,

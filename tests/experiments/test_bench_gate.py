@@ -1,8 +1,14 @@
-"""The bench --against result gate: timing is soft, results are hard."""
+"""The bench --against result gate: timing is soft, results are hard.
+
+(Timing only becomes hard when the caller opts in with --tolerance;
+those cases are covered at the bottom.)
+"""
 
 import copy
 
-from repro.experiments.bench import compare_bench_results
+import pytest
+
+from repro.experiments.bench import compare_bench_results, timing_regressions
 
 
 def _snapshot(**overrides):
@@ -104,3 +110,45 @@ def test_preset_mismatch_is_one_clear_failure():
     problems = compare_bench_results(old, new)
     assert len(problems) == 1
     assert "preset" in problems[0]
+
+
+def test_tolerance_passes_within_threshold():
+    old = _snapshot()
+    new = copy.deepcopy(old)
+    for run in new["runs"]:
+        run["wall_time_s"] *= 1.1  # 10% slower
+    new["serial_wall_time_s"] *= 1.1
+    assert timing_regressions(old, new, 0.25) == []
+
+
+def test_tolerance_fails_slow_run_with_named_label():
+    old = _snapshot()
+    new = copy.deepcopy(old)
+    new["runs"][1]["wall_time_s"] = 0.4 * 2  # mp3d/AD doubled
+    problems = timing_regressions(old, new, 0.25)
+    assert len(problems) == 1
+    assert "mp3d/AD" in problems[0]
+
+
+def test_tolerance_fails_total_drift():
+    old = _snapshot()
+    new = copy.deepcopy(old)
+    new["serial_wall_time_s"] = 4.0  # total doubled, per-run unchanged
+    problems = timing_regressions(old, new, 0.5)
+    assert len(problems) == 1
+    assert "total serial wall" in problems[0]
+
+
+def test_tolerance_ignores_speedups_and_new_labels():
+    old = _snapshot()
+    new = copy.deepcopy(old)
+    for run in new["runs"]:
+        run["wall_time_s"] /= 10  # faster never fails
+    new["serial_wall_time_s"] /= 10
+    new["runs"].append({"label": "barnes/W-I", "wall_time_s": 99.0})
+    assert timing_regressions(old, new, 0.0) == []
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError):
+        timing_regressions(_snapshot(), _snapshot(), -0.1)

@@ -1,0 +1,126 @@
+"""Chrome-trace export structure and the trace_events validator."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    spans_to_json,
+    validate_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.timeseries import MetricsRing
+from repro.obs.tracer import TransactionTracer
+
+
+def _tracer_with_spans():
+    tracer = TransactionTracer(policy_name="AD")
+    # Two overlapping transactions on node 0 and one on node 1.
+    a = tracer.open(0, 0x40, 1, "read", 0)
+    b = tracer.open(0, 0x80, 2, "write", 5)
+    c = tracer.open(1, 0xC0, 0, "upgrade", 2)
+    for trace_id, end in ((a, 30), (b, 42), (c, 18)):
+        span = tracer.live[trace_id]
+        span.mark("request_net", span.start + 8)
+        span.note_transition(span.start + 9, "dir", "UNCACHED", "SHARED_REMOTE")
+        tracer.close_span(trace_id, end, "SHARED")
+    return tracer
+
+
+def test_chrome_trace_validates_and_names_processes():
+    doc = chrome_trace(_tracer_with_spans())
+    count = validate_trace_events(doc)
+    assert count == len(doc["traceEvents"])
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert names == {"node 0", "node 1"}
+
+
+def test_overlapping_spans_get_distinct_lanes():
+    doc = chrome_trace(_tracer_with_spans())
+    slices = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == "transaction" and e["pid"] == 0
+    ]
+    assert len(slices) == 2
+    assert slices[0]["tid"] != slices[1]["tid"]  # concurrent => separate lanes
+
+
+def test_segment_slices_nest_inside_their_transaction():
+    doc = chrome_trace(_tracer_with_spans())
+    transactions = {
+        (e["pid"], e["tid"]): (e["ts"], e["ts"] + e["dur"])
+        for e in doc["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == "transaction"
+    }
+    segments = [
+        e for e in doc["traceEvents"]
+        if e["ph"] == "X" and e.get("cat") == "segment"
+    ]
+    assert segments
+    for seg in segments:
+        begin, end = transactions[(seg["pid"], seg["tid"])]
+        assert begin <= seg["ts"] and seg["ts"] + seg["dur"] <= end + 1e-9
+
+
+def test_metrics_become_counter_events():
+    ring = MetricsRing(capacity=8)
+    ring.append((100, 4, 2, 1, 3, 0.5, 0.25, 0.1, 0.2))
+    doc = chrome_trace(_tracer_with_spans(), metrics=ring)
+    validate_trace_events(doc)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert {e["name"] for e in counters} >= {"mshrs", "bus_util"}
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    target = tmp_path / "trace.json"
+    write_chrome_trace(_tracer_with_spans(), str(target))
+    doc = json.loads(target.read_text())
+    assert validate_trace_events(doc) > 0
+    assert doc["otherData"]["schema"] == "repro-chrome-trace/1"
+
+
+def test_spans_to_json_carries_summary_and_spans():
+    doc = spans_to_json(_tracer_with_spans())
+    assert doc["schema"] == "repro-trace/1"
+    assert len(doc["spans"]) == 3
+    assert doc["summary"]["spans_closed"] == 3
+    limited = spans_to_json(_tracer_with_spans(), limit=1)
+    assert len(limited["spans"]) == 1
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda d: d.pop("traceEvents"), "traceEvents"),
+        (lambda d: d["traceEvents"].append({"ph": "Z", "name": "x"}), "phase"),
+        (lambda d: d["traceEvents"].append({"ph": "X"}), "name"),
+        (
+            lambda d: d["traceEvents"].append(
+                {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 1, "dur": -2}
+            ),
+            "dur",
+        ),
+        (
+            lambda d: d["traceEvents"].append(
+                {"ph": "X", "name": "x", "pid": "zero", "tid": 0, "ts": 1, "dur": 1}
+            ),
+            "pid",
+        ),
+        (
+            lambda d: d["traceEvents"].append(
+                {"ph": "C", "name": "x", "pid": 0, "tid": 0, "ts": 1, "args": {}}
+            ),
+            "counter",
+        ),
+    ],
+)
+def test_validator_rejects_malformed_documents(mutate, message):
+    doc = chrome_trace(_tracer_with_spans())
+    mutate(doc)
+    with pytest.raises(ValueError, match=message):
+        validate_trace_events(doc)

@@ -1,0 +1,87 @@
+"""Span mechanics: the mark cursor and the tiling invariant."""
+
+import pytest
+
+from repro.obs.span import SEGMENTS, Span
+
+
+def _span(start=100):
+    return Span(trace_id=1, node=3, block=0x40, home=2, op="read", start=start)
+
+
+def test_marks_tile_the_latency():
+    span = _span(start=100)
+    span.mark("request_net", 120)
+    span.mark("directory", 126)
+    span.mark("memory", 136)
+    span.mark("reply_net", 170)
+    span.close(173, "SHARED")
+    assert span.latency == 73
+    assert sum(span.segments.values()) == span.latency
+    assert span.segments["local_cache"] == 3
+    assert span.fill_state == "SHARED"
+    assert span.closed
+
+
+def test_zero_length_mark_records_segment_but_no_interval():
+    span = _span(start=10)
+    span.mark("request_net", 10)
+    assert span.segments["request_net"] == 0
+    assert span.intervals == []
+    span.close(10, None)
+    assert span.latency == 0
+    assert sum(span.segments.values()) == 0
+
+
+def test_marks_accumulate_across_retry_rounds():
+    span = _span(start=0)
+    span.mark("request_net", 10)
+    span.mark("directory", 14)
+    span.mark("owner_forward", 40)  # first round NAKed
+    span.mark("directory", 46)  # retry restarts directory service
+    span.mark("owner_forward", 70)
+    span.mark("reply_net", 90)
+    span.close(90, "DIRTY")
+    assert span.segments["directory"] == 4 + 6
+    assert span.segments["owner_forward"] == 26 + 24
+    assert sum(span.segments.values()) == span.latency == 90
+
+
+def test_non_monotone_mark_raises():
+    span = _span(start=50)
+    span.mark("request_net", 60)
+    with pytest.raises(ValueError):
+        span.mark("directory", 55)
+
+
+def test_latency_of_open_span_raises():
+    with pytest.raises(ValueError):
+        _span().latency
+
+
+def test_intervals_cover_in_causal_order():
+    span = _span(start=0)
+    span.mark("request_net", 5)
+    span.mark("directory", 9)
+    span.close(20, "SHARED")
+    assert span.intervals == [
+        ("request_net", 0, 5),
+        ("directory", 5, 9),
+        ("local_cache", 9, 20),
+    ]
+    # Intervals chain: each begins where the previous ended.
+    for (_, _, end), (_, begin, _) in zip(span.intervals, span.intervals[1:]):
+        assert end == begin
+
+
+def test_to_json_round_trips_core_fields():
+    span = _span(start=7)
+    span.note_transition(9, "dir2", "UNCACHED", "SHARED_REMOTE")
+    span.mark("request_net", 12)
+    span.close(15, "SHARED")
+    doc = span.to_json()
+    assert doc["trace_id"] == 1
+    assert doc["latency"] == 8
+    assert doc["segments"] == {"request_net": 5, "local_cache": 3}
+    assert doc["transitions"] == [[9, "dir2", "UNCACHED", "SHARED_REMOTE"]]
+    assert set(doc["segments"]) <= set(SEGMENTS)

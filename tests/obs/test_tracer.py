@@ -1,0 +1,88 @@
+"""TransactionTracer unit behaviour: lifecycle, aggregates, percentiles."""
+
+from repro.obs.tracer import TransactionTracer, _percentile, render_latency_summary
+
+
+def _close_with_latency(tracer, latency, op="read", now=0):
+    trace_id = tracer.open(node=0, block=0x40, home=1, op=op, now=now)
+    tracer.close_span(trace_id, now + latency, "SHARED")
+    return trace_id
+
+
+def test_ids_are_unique_and_nonzero():
+    tracer = TransactionTracer()
+    ids = {tracer.open(0, 0x40 * i, 1, "read", 0) for i in range(10)}
+    assert len(ids) == 10
+    assert 0 not in ids  # 0 means "untraced" on messages
+
+
+def test_close_moves_span_from_live_to_spans():
+    tracer = TransactionTracer(policy_name="AD")
+    trace_id = tracer.open(0, 0x40, 1, "write", 5)
+    assert trace_id in tracer.live
+    tracer.close_span(trace_id, 30, "DIRTY")
+    assert trace_id not in tracer.live
+    assert len(tracer.spans) == 1
+    assert tracer.spans[0].latency == 25
+
+
+def test_close_of_unknown_id_is_ignored():
+    tracer = TransactionTracer()
+    tracer.close_span(999, 10, None)
+    assert tracer.spans == []
+
+
+def test_max_spans_drops_detail_but_keeps_aggregates():
+    tracer = TransactionTracer(max_spans=2)
+    for i in range(5):
+        _close_with_latency(tracer, 10 + i)
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 3
+    summary = tracer.summary()
+    assert summary["by_op"]["read"]["count"] == 5  # aggregates saw them all
+    assert summary["spans_dropped"] == 3
+
+
+def test_summary_percentiles_and_segments():
+    tracer = TransactionTracer(policy_name="W-I")
+    for latency in (10, 20, 30, 40, 100):
+        _close_with_latency(tracer, latency)
+    _close_with_latency(tracer, 50, op="upgrade")
+    doc = tracer.summary()
+    read = doc["by_op"]["read"]
+    assert read["count"] == 5
+    assert read["p50"] == 30
+    assert read["p99"] == 100
+    assert read["mean"] == 40.0
+    # close() attributes the whole latency to local_cache here (no marks).
+    assert read["segment_means"] == {"local_cache": 40.0}
+    assert doc["by_op"]["upgrade"]["count"] == 1
+    assert doc["policy"] == "W-I"
+    assert doc["spans_open"] == 0
+
+
+def test_summary_with_no_spans_is_empty_but_valid():
+    doc = TransactionTracer().summary()
+    assert doc["by_op"] == {}
+    assert doc["spans_closed"] == 0
+    text = render_latency_summary(doc)
+    assert "0 transactions" in text
+
+
+def test_nearest_rank_percentile():
+    ordered = [1, 2, 3, 4]
+    assert _percentile(ordered, 0.50) == 2
+    assert _percentile(ordered, 0.95) == 4
+    assert _percentile([7], 0.99) == 7
+    # Nearest rank never interpolates, always returns an element.
+    assert _percentile(ordered, 0.01) == 1
+
+
+def test_render_latency_summary_is_readable():
+    tracer = TransactionTracer(policy_name="AD")
+    for latency in (11, 13, 17):
+        _close_with_latency(tracer, latency)
+    text = render_latency_summary(tracer.summary())
+    assert "read" in text
+    assert "p95" in text
+    assert "AD" in text

@@ -1,0 +1,46 @@
+"""StallBreakdown edge cases: empty aggregation and zero totals."""
+
+import pytest
+
+from repro.stats.breakdown import StallBreakdown
+
+
+def test_zero_total_fractions_are_all_zero():
+    fractions = StallBreakdown().fractions()
+    assert fractions == {"busy": 0.0, "sync": 0.0, "read": 0.0, "write": 0.0}
+
+
+def test_fractions_sum_to_one():
+    breakdown = StallBreakdown(busy=60, sync_stall=10, read_stall=20, write_stall=10)
+    fractions = breakdown.fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert fractions["busy"] == pytest.approx(0.6)
+    assert breakdown.total == 100
+
+
+def test_aggregate_of_nothing_is_zero():
+    result = StallBreakdown.aggregate([])
+    assert result.total == 0
+    assert result.fractions()["busy"] == 0.0
+
+
+def test_aggregate_sums_components():
+    parts = [
+        StallBreakdown(busy=1, sync_stall=2, read_stall=3, write_stall=4),
+        StallBreakdown(busy=10, sync_stall=20, read_stall=30, write_stall=40),
+        StallBreakdown(),  # an idle processor contributes nothing
+    ]
+    total = StallBreakdown.aggregate(parts)
+    assert (total.busy, total.sync_stall, total.read_stall, total.write_stall) == (
+        11, 22, 33, 44,
+    )
+    assert total.total == 110
+    # Aggregation must not mutate its inputs.
+    assert parts[0].busy == 1 and parts[2].total == 0
+
+
+def test_add_accumulates_in_place():
+    acc = StallBreakdown(busy=5)
+    acc.add(StallBreakdown(busy=1, read_stall=2))
+    assert acc.busy == 6
+    assert acc.read_stall == 2

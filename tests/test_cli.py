@@ -96,6 +96,53 @@ def test_profile_command(tmp_path, capsys):
     assert doc["events_processed"] > 0
     # Profiling must not perturb the simulation itself.
     assert doc["execution_time"] > 0
+    # The artifact is self-describing: it records how to reproduce it.
+    assert doc["seed"] == 42
+    assert doc["check_coherence"] is False
+    assert doc["machine"]["nodes"] == 16
+    assert doc["machine"]["line_size"] == 16
+
+
+def test_run_trace_flag_prints_latency_summary(capsys):
+    code = main(["run", "migratory-counters", "--protocol", "AD", "--trace"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "miss type" in out
+    assert "p95" in out
+    assert "per-segment mean cycles" in out
+
+
+def test_trace_command_writes_artifacts(tmp_path, capsys):
+    import json
+
+    perfetto = tmp_path / "trace.json"
+    spans = tmp_path / "spans.json"
+    metrics = tmp_path / "metrics.csv"
+    code = main(
+        ["trace", "migratory-counters", "--protocol", "AD", "--no-check",
+         "--perfetto", str(perfetto), "--spans", str(spans),
+         "--metrics", str(metrics), "--metrics-interval", "100"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "transactions" in out and "perfetto" in out
+
+    from repro.obs import validate_trace_events
+
+    trace_doc = json.loads(perfetto.read_text())
+    assert validate_trace_events(trace_doc) > 0
+    spans_doc = json.loads(spans.read_text())
+    assert spans_doc["schema"] == "repro-trace/1"
+    assert spans_doc["summary"]["spans_closed"] == len(spans_doc["spans"])
+    header = metrics.read_text().splitlines()[0]
+    assert header.startswith("time,events_queued")
+
+
+def test_trace_command_summary_only(capsys):
+    code = main(["trace", "migratory-counters", "--no-check"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "data served by" in out
 
 
 def test_bus_command(capsys):
