@@ -5,13 +5,22 @@ Examples::
     repro-sim run mp3d --protocol AD --consistency SC
     repro-sim compare water --preset tiny --workers 2
     repro-sim table1
+    repro-sim figure5 --preset tiny --stats-json cache-stats.json
     repro-sim report --preset default --workers 4
     repro-sim bench --quick
     repro-sim profile mp3d --protocol AD --top 20 --output profile.json
     repro-sim trace mp3d --protocol AD --perfetto trace.json --metrics m.csv
     repro-sim sharing migratory-counters
     repro-sim chaos mp3d --intensities 0,0.5 --preset tiny
+    repro-sim serve --port 8787 --workers 4
+    repro-sim cache stats
     repro-sim list
+
+Sweep-shaped commands (run / figure5 / report) consult the persistent
+content-addressed result cache (``.repro-cache`` or ``$REPRO_SIM_CACHE``)
+before simulating; ``--no-cache`` forces recomputation and ``--cache-dir``
+points at an alternate store.  ``repro-sim bench`` never uses the cache —
+it measures the simulator.
 """
 
 from __future__ import annotations
@@ -48,15 +57,65 @@ def _policy_by_name(name: str) -> ProtocolPolicy:
         ) from None
 
 
+def _open_store(args: argparse.Namespace):
+    """The result store the command should use (None = caching off)."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.experiments.store import ResultStore, default_cache_dir
+
+    return ResultStore(getattr(args, "cache_dir", None) or default_cache_dir())
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate; do not consult or populate "
+                             "the result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache root (default .repro-cache, or "
+                             "$REPRO_SIM_CACHE)")
+
+
+def _print_cache_summary(store) -> None:
+    stats = store.stats
+    print(f"result cache: {stats.hits} hits / {stats.misses} misses "
+          f"({stats.hit_rate:.0%} hit rate, {stats.stores} stored, "
+          f"{stats.corrupt} corrupt evicted) in {store.root}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_workload(
-        args.workload,
-        _policy_by_name(args.protocol),
-        preset=args.preset,
-        consistency=model_by_name(args.consistency),
-        check_coherence=not args.no_check,
-        trace=args.trace,
-    )
+    cache_note = "disabled"
+    if args.trace:
+        # Tracing wants the live machine (span artifacts are not cached).
+        result = run_workload(
+            args.workload,
+            _policy_by_name(args.protocol),
+            preset=args.preset,
+            consistency=model_by_name(args.consistency),
+            check_coherence=not args.no_check,
+            seed=args.seed,
+            trace=True,
+        )
+    else:
+        from repro.experiments.parallel import RunSpec, execute_spec
+
+        spec = RunSpec.make(
+            args.workload,
+            _policy_by_name(args.protocol),
+            preset=args.preset,
+            consistency=model_by_name(args.consistency),
+            check_coherence=not args.no_check,
+            seed=args.seed,
+        )
+        store = _open_store(args)
+        outcome = store.fetch(spec) if store is not None else None
+        if outcome is not None:
+            cache_note = "hit (fingerprint verified)"
+        else:
+            outcome = execute_spec(spec)
+            if store is not None and outcome.ok:
+                store.put(outcome)
+                cache_note = "miss (stored)"
+        result = outcome.unwrap()
     breakdown = result.aggregate_breakdown
     fractions = breakdown.fractions()
     print(f"workload:        {args.workload} (preset {args.preset})")
@@ -79,6 +138,65 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(render_latency_summary(result.latency))
+    print(f"result cache:    {cache_note}")
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    """Run the Figure 5 sweep (optionally cached) and print the chart."""
+    import json
+
+    from repro.experiments import render_figure5, run_figure5
+
+    store = _open_store(args)
+    rows = run_figure5(
+        preset=args.preset,
+        check_coherence=not args.no_check,
+        workers=args.workers,
+        store=store,
+    )
+    print(render_figure5(rows))
+    if store is not None:
+        print()
+        _print_cache_summary(store)
+        if args.stats_json:
+            with open(args.stats_json, "w") as handle:
+                json.dump(store.summary(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.stats_json}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the experiment job-queue daemon until interrupted."""
+    import asyncio
+
+    from repro.experiments.parallel import default_workers
+    from repro.experiments.store import ResultStore, default_cache_dir
+    from repro.serve.server import run_server
+
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    workers = args.workers if args.workers else default_workers()
+    try:
+        asyncio.run(run_server(store, workers=workers,
+                               host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent result cache."""
+    import json
+
+    from repro.experiments.store import ResultStore, default_cache_dir
+
+    store = ResultStore(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached results from {store.root}")
+        return 0
+    print(json.dumps(store.summary(), indent=2, sort_keys=True))
     return 0
 
 
@@ -234,6 +352,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             preset=args.preset,
             check_coherence=not args.no_check,
             workers=args.workers,
+            store=_open_store(args),
         )
     )
     return 0
@@ -261,7 +380,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_bench(doc))
     target = write_bench(doc, path=args.output)
     print(f"\nwrote {target}")
-    ok = doc["parallel_matches_serial"]
+    # None = serial-only snapshot (1-CPU host skipped the parallel pass);
+    # only an actual divergence fails the gate.
+    ok = doc["parallel_matches_serial"] is not False
     if baseline is not None:
         print()
         print(diff_bench(baseline, doc))
@@ -377,12 +498,29 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--protocol", default="AD")
     run_p.add_argument("--consistency", default="SC")
     run_p.add_argument("--preset", default="default")
+    run_p.add_argument("--seed", type=int, default=42,
+                       help="workload seed (part of the cache key)")
     run_p.add_argument("--no-check", action="store_true",
                        help="disable coherence invariant checking")
     run_p.add_argument("--trace", action="store_true",
                        help="trace every miss and print the latency "
-                            "attribution summary")
+                            "attribution summary (bypasses the cache)")
+    _add_cache_args(run_p)
     run_p.set_defaults(func=_cmd_run)
+
+    fig5_p = sub.add_parser(
+        "figure5",
+        help="run the Figure 5 sweep through the result cache",
+    )
+    fig5_p.add_argument("--preset", default="default")
+    fig5_p.add_argument("--no-check", action="store_true")
+    fig5_p.add_argument("--workers", type=int, default=1,
+                        help="worker processes for cold cells (default 1)")
+    fig5_p.add_argument("--stats-json", default=None, metavar="STATS_JSON",
+                        help="write cache hit/miss stats + store summary "
+                             "as JSON (CI warm-cache gate reads this)")
+    _add_cache_args(fig5_p)
+    fig5_p.set_defaults(func=_cmd_figure5)
 
     trace_p = sub.add_parser(
         "trace",
@@ -476,6 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--no-check", action="store_true")
     rep_p.add_argument("--workers", type=int, default=1,
                        help="worker processes per experiment sweep (default 1)")
+    _add_cache_args(rep_p)
     rep_p.set_defaults(func=_cmd_report)
 
     bench_p = sub.add_parser(
@@ -486,7 +625,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="tiny preset (CI smoke; ~seconds)")
     bench_p.add_argument("--workers", type=int, default=None,
                          help="worker processes for the parallel pass "
-                              "(default: all cores, minimum 2)")
+                              "(default: all cores; if that resolves to 1 "
+                              "the parallel pass is skipped and a serial-"
+                              "only snapshot is recorded)")
     bench_p.add_argument("--output", default=None,
                          help="snapshot path (default BENCH_<date>.json)")
     bench_p.add_argument("--against", default=None, metavar="BENCH_JSON",
@@ -522,6 +663,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the report as JSON")
     chaos_p.add_argument("--no-check", action="store_true")
     chaos_p.set_defaults(func=_cmd_chaos)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the async job-queue daemon (HTTP sweep submissions, "
+             "shared result cache)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8787,
+                         help="listen port (0 = ephemeral; default 8787)")
+    serve_p.add_argument("--workers", type=int, default=None,
+                         help="simulation worker processes (default: all cores)")
+    serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result-cache root shared with the CLI "
+                              "(default .repro-cache, or $REPRO_SIM_CACHE)")
+    serve_p.set_defaults(func=_cmd_serve)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_p.add_argument("action", choices=("stats", "clear"),
+                         help="stats: print the store summary as JSON; "
+                              "clear: delete every cached entry + artifact")
+    cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result-cache root (default .repro-cache, or "
+                              "$REPRO_SIM_CACHE)")
+    cache_p.set_defaults(func=_cmd_cache)
 
     list_p = sub.add_parser("list", help="list available workloads")
     list_p.set_defaults(func=_cmd_list)

@@ -46,6 +46,7 @@ def run_rxq_heuristic_ablation(
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[HeuristicRow]:
     specs = [
         RunSpec.make(
@@ -59,7 +60,7 @@ def run_rxq_heuristic_ablation(
             ProtocolPolicy(adaptive=True, rxq_reverts_to_ordinary=True),
         )
     ]
-    pairs = run_pairs(specs, workers=workers)
+    pairs = run_pairs(specs, workers=workers, store=store)
     return [
         HeuristicRow(workload=name, default=default, with_heuristic=heuristic)
         for name, (default, heuristic) in zip(PAPER_BENCHMARKS, pairs)
@@ -94,6 +95,7 @@ def run_bandwidth_sweep(
     preset: str = "default",
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[BandwidthPoint]:
     """AD's advantage grows as the network narrows (Section 6)."""
     specs = [
@@ -109,7 +111,7 @@ def run_bandwidth_sweep(
             ProtocolPolicy.adaptive_default(),
         )
     ]
-    pairs = run_pairs(specs, workers=workers)
+    pairs = run_pairs(specs, workers=workers, store=store)
     return [
         BandwidthPoint(
             link_bits=width, wi_time=wi.execution_time, ad_time=ad.execution_time

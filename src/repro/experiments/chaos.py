@@ -222,6 +222,7 @@ def run_chaos(
     watchdog: int = DEFAULT_WATCHDOG,
     workers: int = 1,
     check_coherence: bool = True,
+    store=None,
 ) -> ChaosReport:
     """Run the full chaos grid and assemble the survival report."""
     workloads = list(workloads)
@@ -234,7 +235,7 @@ def run_chaos(
         watchdog=watchdog,
         check_coherence=check_coherence,
     )
-    outcomes = run_many(specs, workers=workers)
+    outcomes = run_many(specs, workers=workers, store=store)
     report = ChaosReport(
         workloads=workloads,
         intensities=intensities,

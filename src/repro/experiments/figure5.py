@@ -53,10 +53,11 @@ def run_figure5(
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[Figure5Row]:
     comparisons = compare_many(
         PAPER_BENCHMARKS, preset=preset, config=config,
-        check_coherence=check_coherence, workers=workers,
+        check_coherence=check_coherence, workers=workers, store=store,
     )
     return [
         Figure5Row(

@@ -43,6 +43,7 @@ def run_figure6(
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[Figure6Cell]:
     base = config or MachineConfig.dash_default()
     keys = [(variant, policy_name) for variant in VARIANTS for policy_name in POLICIES]
@@ -66,7 +67,7 @@ def run_figure6(
                 tag=f"{workload}/{variant}/{policy_name}",
             )
         )
-    outcomes = run_many(specs, workers=workers)
+    outcomes = run_many(specs, workers=workers, store=store)
     cells: Dict[tuple, RunResult] = {
         key: outcome.unwrap() for key, outcome in zip(keys, outcomes)
     }

@@ -149,6 +149,7 @@ def compare_protocols(
     check_coherence: bool = True,
     seed: int = 42,
     workers: int = 1,
+    store=None,
     **workload_overrides,
 ) -> ProtocolComparison:
     """Run a workload under both W-I and AD with identical parameters.
@@ -159,7 +160,10 @@ def compare_protocols(
         workload, preset=preset, consistency=consistency, config=config,
         check_coherence=check_coherence, seed=seed, **workload_overrides,
     )
-    wi, ad = [outcome.unwrap() for outcome in run_many(specs, workers=workers)]
+    wi, ad = [
+        outcome.unwrap()
+        for outcome in run_many(specs, workers=workers, store=store)
+    ]
     return ProtocolComparison(workload=workload, wi=wi, ad=ad)
 
 
@@ -172,6 +176,7 @@ def compare_many(
     check_coherence: bool = True,
     seed: int = 42,
     workers: int = 1,
+    store=None,
 ) -> Dict[str, ProtocolComparison]:
     """W-I vs AD for several workloads, fanned out over one worker pool.
 
@@ -186,7 +191,7 @@ def compare_many(
                 check_coherence=check_coherence, seed=seed,
             )
         )
-    outcomes = run_many(specs, workers=workers)
+    outcomes = run_many(specs, workers=workers, store=store)
     comparisons = {}
     for index, name in enumerate(workloads):
         wi = outcomes[2 * index].unwrap()

@@ -48,6 +48,7 @@ def run_scaling(
     iterations: int = 20,
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[ScalingPoint]:
     specs = []
     for width, height in meshes:
@@ -73,7 +74,7 @@ def run_scaling(
                     record_lines=2,
                 )
             )
-    pairs = run_pairs(specs, workers=workers)
+    pairs = run_pairs(specs, workers=workers, store=store)
     return [
         ScalingPoint(mesh=mesh, wi=wi, ad=ad)
         for mesh, (wi, ad) in zip(meshes, pairs)

@@ -56,6 +56,7 @@ def run_section54(
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[StabilityRow]:
     specs = [
         RunSpec.make(
@@ -69,7 +70,7 @@ def run_section54(
             ProtocolPolicy(adaptive=True, nomig_enabled=False),
         )
     ]
-    pairs = run_pairs(specs, workers=workers)
+    pairs = run_pairs(specs, workers=workers, store=store)
     return [
         StabilityRow(workload=name, adaptive=adaptive, nomig_disabled=disabled)
         for name, (adaptive, disabled) in zip(MIGRATORY_APPS, pairs)
@@ -99,7 +100,8 @@ class NoMigNecessity:
 
 
 def run_nomig_necessity(
-    read_rounds: int = 30, check_coherence: bool = True, workers: int = 1
+    read_rounds: int = 30, check_coherence: bool = True, workers: int = 1,
+    store=None,
 ) -> NoMigNecessity:
     """Read-only sharing with and without the NoMig revert."""
     specs = [
@@ -113,7 +115,7 @@ def run_nomig_necessity(
             ProtocolPolicy(adaptive=True, nomig_enabled=False),
         )
     ]
-    [(with_nomig, without)] = run_pairs(specs, workers=workers)
+    [(with_nomig, without)] = run_pairs(specs, workers=workers, store=store)
     return NoMigNecessity(with_nomig=with_nomig, without_nomig=without)
 
 

@@ -55,10 +55,11 @@ def run_table3(
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[Table3Row]:
     comparisons = compare_many(
         PAPER_BENCHMARKS, preset=preset, config=config,
-        check_coherence=check_coherence, workers=workers,
+        check_coherence=check_coherence, workers=workers, store=store,
     )
     return [
         Table3Row(workload=name, comparison=comparisons[name])

@@ -78,6 +78,7 @@ def run_table4(
     small_cache: int = SMALL_CACHE,
     check_coherence: bool = True,
     workers: int = 1,
+    store=None,
 ) -> List[Table4Row]:
     base = config or MachineConfig.dash_default()
     specs = []
@@ -91,7 +92,7 @@ def run_table4(
                     check_coherence=check_coherence,
                 )
             )
-    outcomes = run_many(specs, workers=workers)
+    outcomes = run_many(specs, workers=workers, store=store)
     rows = []
     for index, name in enumerate(PAPER_BENCHMARKS):
         at = 4 * index  # 2 cache sizes x 2 protocols per workload

@@ -15,8 +15,8 @@ processor clock).  Defaults reproduce Section 4.2:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Optional
 
 from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
 from repro.core.policy import ProtocolPolicy
@@ -95,3 +95,37 @@ class MachineConfig:
     def dash_default(**overrides) -> "MachineConfig":
         """The paper's default 16-node machine."""
         return MachineConfig().with_(**overrides) if overrides else MachineConfig()
+
+    def to_json(self) -> Dict[str, Any]:
+        """Canonical JSON-compatible serialization of every knob.
+
+        Two equal configs serialize identically (nested policy /
+        consistency / faults dataclasses included), so the dict is the
+        machine-config component of a content-addressed cache key and the
+        wire form ``repro-sim serve`` accepts.  Round-trips through
+        :meth:`from_json`.
+        """
+        return asdict(self)
+
+    @staticmethod
+    def from_json(doc: Dict[str, Any]) -> "MachineConfig":
+        """Rebuild a config from :meth:`to_json` output.
+
+        Unknown keys are rejected (a submission written against a newer
+        code version must not silently drop knobs — the cache key would
+        then lie about what ran).
+        """
+        data = dict(doc)
+        known = {f.name for f in fields(MachineConfig)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown MachineConfig fields: {sorted(unknown)}")
+        if data.get("policy") is not None and isinstance(data["policy"], dict):
+            data["policy"] = ProtocolPolicy(**data["policy"])
+        if data.get("consistency") is not None and isinstance(
+            data["consistency"], dict
+        ):
+            data["consistency"] = ConsistencyModel(**data["consistency"])
+        if data.get("faults") is not None and isinstance(data["faults"], dict):
+            data["faults"] = FaultConfig(**data["faults"])
+        return MachineConfig(**data)

@@ -1,0 +1,15 @@
+"""The experiment service: ``repro-sim serve``.
+
+A small asyncio job-queue daemon in front of the content-addressed
+:class:`~repro.experiments.store.ResultStore`: clients POST batches of
+sweep cells over HTTP, identical cells are deduplicated across
+concurrent clients, warm cells answer straight from the store, cold
+cells are scheduled onto a fixed process pool, and progress streams back
+as newline-delimited JSON.  Results and their trace/metrics/profile
+artifacts persist in the store for every later sweep.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ExperimentServer
+
+__all__ = ["ExperimentServer", "ServeClient"]

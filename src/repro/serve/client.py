@@ -1,0 +1,114 @@
+"""A minimal client for the ``repro-sim serve`` daemon.
+
+Stdlib-only (``urllib``), so any script — or another machine on the
+network — can submit sweep batches and read results without installing
+anything:
+
+    client = ServeClient("http://127.0.0.1:8787")
+    job = client.submit_specs(figure5_suite("tiny"))
+    status = client.wait(job["job"])
+    entry = client.result(status["cells"][0]["key"])
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.experiments.parallel import RunSpec
+from repro.experiments.store import spec_to_json
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the daemon (carries the decoded body)."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        super().__init__(f"HTTP {status}: {body}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Talk to one ExperimentServer over HTTP."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw transport -------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode())
+            except ValueError:
+                payload = exc.reason
+            raise ServeError(exc.code, payload) from None
+
+    # -- API -----------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec_docs: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit wire-form spec dicts; returns the initial job status."""
+        return self._request("POST", "/jobs", {"specs": spec_docs})
+
+    def submit_specs(self, specs: Sequence[RunSpec]) -> Dict[str, Any]:
+        """Submit RunSpec objects (serialized for the wire here)."""
+        return self.submit([spec_to_json(spec) for spec in specs])
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, key: str) -> Dict[str, Any]:
+        """The stored entry (spec, fingerprint, result payload) for a key."""
+        return self._request("GET", f"/results/{key}")
+
+    def artifacts(self, key: str) -> List[str]:
+        return self._request("GET", f"/results/{key}/artifacts")["artifacts"]
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job completes; returns its final status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status["complete"]:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} incomplete after {timeout}s: "
+                    f"{status['finished']}/{status['total']} cells"
+                )
+            time.sleep(poll)
+
+    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Yield the job's NDJSON progress events as they arrive."""
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/stream", method="GET"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())

@@ -1,0 +1,440 @@
+"""The ``repro-sim serve`` daemon: HTTP job queue over the result store.
+
+Dependency-free by design (the simulator has no third-party runtime
+deps, and its job server should not be the thing that changes that):
+asyncio streams plus a minimal HTTP/1.1 request parser — enough for the
+JSON API below, not a general web server.
+
+API
+---
+
+``GET  /healthz``            liveness + worker/cache configuration
+``POST /jobs``               submit a batch: ``{"specs": [<spec>, ...]}``
+                             (spec wire form: ``store.spec_to_json``;
+                             ``"policy"``/``"consistency"`` accept
+                             shorthand names).  Response: job id plus one
+                             cell record per spec — already-cached cells
+                             resolve instantly, duplicates (within the
+                             batch or against other clients' in-flight
+                             cells) attach to the existing cell.
+``GET  /jobs/<id>``          job status: per-cell state + counts
+``GET  /jobs/<id>/stream``   newline-delimited JSON progress events, one
+                             per cell completion, then a ``job-done``
+                             line; streams live until the job finishes
+``GET  /results/<key>``      the stored entry (spec, fingerprint, result)
+``GET  /results/<key>/artifacts``  artifact listing for the cell
+``GET  /stats``              cache stats + scheduler counters
+
+Scheduling
+----------
+
+Cold cells run on a fixed pool of ``workers`` processes
+(:class:`concurrent.futures.ProcessPoolExecutor`); an
+:class:`asyncio.Semaphore` of the same width keeps the queue honest so a
+cell is only marked ``running`` when it actually occupies a worker.
+Every unique cell executes at most once no matter how many jobs
+reference it — the dedupe map is keyed by the same content address the
+store uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments.parallel import RunOutcome, RunSpec, execute_spec
+from repro.experiments.store import ResultStore, spec_from_json, spec_key
+
+SERVE_SCHEMA = "repro-serve/1"
+
+#: Request body ceiling (a sweep of ~10k cells fits comfortably).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """Client error: reported as a 400 with the message as the reason."""
+
+
+@dataclass
+class Cell:
+    """One unique sweep cell and its lifecycle on this server."""
+
+    key: str
+    spec: RunSpec
+    status: str  # queued | running | done | cached | failed
+    done: asyncio.Event
+    outcome: Optional[RunOutcome] = None
+    #: How many submitted specs (across all jobs) resolved to this cell.
+    refs: int = 0
+
+    def to_json(self) -> Dict[str, Any]:
+        doc = {
+            "key": self.key,
+            "label": self.spec.label,
+            "status": self.status,
+            "refs": self.refs,
+        }
+        if self.outcome is not None and self.outcome.error is not None:
+            doc["error"] = str(self.outcome.error)
+        return doc
+
+
+@dataclass
+class Job:
+    """One submitted batch: an ordered list of cell keys."""
+
+    id: str
+    keys: List[str] = field(default_factory=list)
+
+
+class ExperimentServer:
+    """The asyncio job-queue daemon (one instance per process)."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+    ) -> None:
+        self.store = store
+        self.workers = max(1, workers)
+        self.host = host
+        self.port = port
+        self.cells: Dict[str, Cell] = {}
+        self.jobs: Dict[str, Job] = {}
+        self.submitted = 0
+        self.deduped = 0
+        self._job_counter = 0
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and the worker pool.
+
+        ``port=0`` picks an ephemeral port; ``self.port`` is updated to
+        the bound one either way.
+        """
+        self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        self._slots = asyncio.Semaphore(self.workers)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- scheduling ----------------------------------------------------
+
+    def submit(self, spec_docs: List[Dict[str, Any]]) -> Job:
+        """Register a batch; returns the job with one cell per spec."""
+        if not isinstance(spec_docs, list) or not spec_docs:
+            raise BadRequest('body must be {"specs": [<spec>, ...]}')
+        self._job_counter += 1
+        job = Job(id=f"job-{self._job_counter}")
+        for doc in spec_docs:
+            try:
+                spec = spec_from_json(doc)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BadRequest(f"bad spec {doc!r}: {exc}") from None
+            self.submitted += 1
+            key = spec_key(spec)
+            cell = self.cells.get(key)
+            if cell is None:
+                cell = Cell(key=key, spec=spec, status="queued",
+                            done=asyncio.Event())
+                self.cells[key] = cell
+                cached = self.store.fetch(spec)
+                if cached is not None:
+                    cell.status = "cached"
+                    cell.outcome = cached
+                    cell.done.set()
+                else:
+                    asyncio.get_running_loop().create_task(self._run_cell(cell))
+            else:
+                # The dedupe path: an identical cell is already cached,
+                # queued, or running on behalf of another submission.
+                self.deduped += 1
+            cell.refs += 1
+            job.keys.append(key)
+        self.jobs[job.id] = job
+        return job
+
+    async def _run_cell(self, cell: Cell) -> None:
+        assert self._slots is not None and self._executor is not None
+        async with self._slots:
+            cell.status = "running"
+            loop = asyncio.get_running_loop()
+            try:
+                outcome = await loop.run_in_executor(
+                    self._executor, execute_spec, cell.spec
+                )
+            except Exception as exc:  # pool death, pickling failure
+                cell.status = "failed"
+                cell.outcome = RunOutcome(
+                    spec=cell.spec, error=_synthetic_error(cell.spec, exc)
+                )
+                cell.done.set()
+                return
+            cell.outcome = outcome
+            if outcome.ok:
+                self.store.put(outcome)
+                cell.status = "done"
+            else:
+                cell.status = "failed"
+            cell.done.set()
+
+    def job_status(self, job: Job) -> Dict[str, Any]:
+        cells = [self.cells[key].to_json() for key in job.keys]
+        counts: Dict[str, int] = {}
+        for cell in cells:
+            counts[cell["status"]] = counts.get(cell["status"], 0) + 1
+        finished = sum(
+            counts.get(status, 0) for status in ("done", "cached", "failed")
+        )
+        return {
+            "schema": SERVE_SCHEMA,
+            "job": job.id,
+            "total": len(cells),
+            "finished": finished,
+            "complete": finished == len(cells),
+            "counts": counts,
+            "cells": cells,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        by_status: Dict[str, int] = {}
+        for cell in self.cells.values():
+            by_status[cell.status] = by_status.get(cell.status, 0) + 1
+        doc = {
+            "schema": SERVE_SCHEMA,
+            "workers": self.workers,
+            "jobs": len(self.jobs),
+            "cells": len(self.cells),
+            "cells_by_status": by_status,
+            "specs_submitted": self.submitted,
+            "specs_deduped": self.deduped,
+            "cache": self.store.summary(),
+        }
+        return doc
+
+    # -- HTTP plumbing -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await _read_request(reader)
+            except BadRequest as exc:
+                await _respond_json(writer, 400, {"error": str(exc)})
+                return
+            try:
+                await self._route(method, path, body, writer)
+            except BadRequest as exc:
+                await _respond_json(writer, 400, {"error": str(exc)})
+            except (ConnectionError, OSError):
+                pass  # client went away mid-response
+            except Exception as exc:  # noqa: BLE001 - daemon must survive
+                try:
+                    await _respond_json(writer, 500, {"error": repr(exc)})
+                except (ConnectionError, OSError):
+                    pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        parts = [part for part in path.split("?")[0].split("/") if part]
+        if method == "GET" and parts == ["healthz"]:
+            await _respond_json(
+                writer, 200,
+                {"ok": True, "schema": SERVE_SCHEMA, "workers": self.workers,
+                 "cache_dir": str(self.store.root)},
+            )
+        elif method == "GET" and parts == ["stats"]:
+            await _respond_json(writer, 200, self.stats())
+        elif method == "POST" and parts == ["jobs"]:
+            try:
+                doc = json.loads(body or b"{}")
+            except ValueError:
+                raise BadRequest("body is not valid JSON") from None
+            job = self.submit(doc.get("specs"))
+            await _respond_json(writer, 200, self.job_status(job))
+        elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            job = self.jobs.get(parts[1])
+            if job is None:
+                await _respond_json(writer, 404, {"error": f"no job {parts[1]!r}"})
+                return
+            await _respond_json(writer, 200, self.job_status(job))
+        elif (
+            method == "GET"
+            and len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "stream"
+        ):
+            job = self.jobs.get(parts[1])
+            if job is None:
+                await _respond_json(writer, 404, {"error": f"no job {parts[1]!r}"})
+                return
+            await self._stream_job(job, writer)
+        elif method == "GET" and len(parts) == 2 and parts[0] == "results":
+            entry = self.store.load_entry(parts[1])
+            if entry is None:
+                await _respond_json(
+                    writer, 404, {"error": f"no result {parts[1]!r}"}
+                )
+                return
+            await _respond_json(writer, 200, entry)
+        elif (
+            method == "GET"
+            and len(parts) == 3
+            and parts[0] == "results"
+            and parts[2] == "artifacts"
+        ):
+            await _respond_json(
+                writer, 200,
+                {"key": parts[1], "artifacts": self.store.list_artifacts(parts[1])},
+            )
+        else:
+            await _respond_json(
+                writer, 404, {"error": f"no route {method} /{'/'.join(parts)}"}
+            )
+
+    async def _stream_job(self, job: Job, writer: asyncio.StreamWriter) -> None:
+        """NDJSON progress: one line per finished cell, then job-done."""
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        pending = {key: self.cells[key] for key in job.keys}
+        emitted = 0
+        while pending:
+            waiters = {
+                asyncio.ensure_future(cell.done.wait()): key
+                for key, cell in pending.items()
+            }
+            finished, unfinished = await asyncio.wait(
+                waiters, return_when=asyncio.FIRST_COMPLETED
+            )
+            for waiter in unfinished:
+                waiter.cancel()
+            for waiter in finished:
+                key = waiters[waiter]
+                cell = pending.pop(key)
+                emitted += 1
+                event = dict(cell.to_json())
+                event.update({"event": "cell", "finished": emitted,
+                              "total": len(job.keys)})
+                writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
+            await writer.drain()
+        summary = {"event": "job-done", "job": job.id, "total": len(job.keys)}
+        writer.write((json.dumps(summary, sort_keys=True) + "\n").encode())
+        await writer.drain()
+
+
+def _synthetic_error(spec: RunSpec, exc: Exception):
+    from repro.experiments.parallel import RunError
+
+    return RunError(
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback="",
+        workload=spec.workload,
+        policy=spec.policy.name,
+        seed=spec.seed,
+    )
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, bytes]:
+    """Parse one HTTP/1.1 request: (method, path, body)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, OSError):
+        raise BadRequest("connection dropped") from None
+    try:
+        method, path, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise BadRequest(f"malformed request line {request_line!r}") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise BadRequest(f"body too large ({length} bytes)")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, body
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                500: "Internal Server Error"}
+
+
+async def _respond_json(
+    writer: asyncio.StreamWriter, status: int, doc: Dict[str, Any]
+) -> None:
+    payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+    )
+    writer.write(payload)
+    await writer.drain()
+
+
+async def run_server(
+    store: ResultStore,
+    workers: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+) -> None:
+    """Start a server and block until cancelled (the CLI entry point)."""
+    server = ExperimentServer(store, workers=workers, host=host, port=port)
+    await server.start()
+    print(
+        f"repro-sim serve: http://{server.host}:{server.port} "
+        f"({server.workers} workers, cache {store.root})",
+        flush=True,
+    )
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()

@@ -46,14 +46,16 @@ def stacked_bar(parts: dict, width: int = 40) -> str:
 
 
 def full_report(
-    preset: str = "default", check_coherence: bool = False, workers: int = 1
+    preset: str = "default", check_coherence: bool = False, workers: int = 1,
+    store=None,
 ) -> str:
     """Run every experiment and render the complete paper-vs-measured report.
 
     This is what ``repro-sim report`` prints; EXPERIMENTS.md is generated
     from the same output.  Expect a few minutes at the default preset
     (``workers=N`` fans each experiment's independent runs over N
-    processes).
+    processes; ``store=`` serves previously computed sweep cells from the
+    content-addressed result cache and appends a hit/miss footer).
     """
     from repro.analysis import (
         ad_episode_cost,
@@ -78,7 +80,10 @@ def full_report(
     )
     from repro.experiments.ablations import render_rxq_heuristic
 
-    kwargs = dict(preset=preset, check_coherence=check_coherence, workers=workers)
+    kwargs = dict(
+        preset=preset, check_coherence=check_coherence, workers=workers,
+        store=store,
+    )
     sections = []
     sections.append(render_table1(measure_table1()))
     sections.append(render_figure5(run_figure5(**kwargs)))
@@ -86,7 +91,9 @@ def full_report(
     sections.append(render_figure6(run_figure6(**kwargs)))
     sections.append(render_table4(run_table4(**kwargs)))
     sections.append(render_section54(run_section54(**kwargs)))
-    necessity = run_nomig_necessity(check_coherence=check_coherence, workers=workers)
+    necessity = run_nomig_necessity(
+        check_coherence=check_coherence, workers=workers, store=store
+    )
     sections.append(
         "NoMig necessity (read-only sharing pattern): disabling the revert "
         f"slows execution by {necessity.slowdown:.0%}"
@@ -98,4 +105,11 @@ def full_report(
         f"{wi.total_bits} bits vs AD {ad.total_bits} bits "
         f"({migratory_traffic_reduction():.0%} reduction; paper: 704 vs 328, 53%)"
     )
+    if store is not None:
+        stats = store.stats
+        sections.append(
+            f"result cache: {stats.hits} hits / {stats.misses} misses "
+            f"({stats.hit_rate:.0%} hit rate, {stats.stores} stored, "
+            f"{stats.corrupt} corrupt evicted) in {store.root}"
+        )
     return ("\n\n" + "=" * 72 + "\n\n").join(sections)

@@ -21,12 +21,16 @@ from repro.experiments.bench import (
     run_bench_suite,
     write_bench,
 )
+import repro.experiments.parallel as parallel
 from repro.experiments.parallel import (
     RunSpec,
     execute_spec,
+    freeze_value,
     result_fingerprint,
     run_many,
     run_pairs,
+    shutdown_pool,
+    thaw_value,
 )
 from repro.experiments.runner import ProtocolComparison, compare_protocols
 from repro.machine.system import RunResult
@@ -192,3 +196,59 @@ def test_load_bench_rejects_unknown_schema(tmp_path):
     bogus.write_text(json.dumps({"schema": "other/9"}))
     with pytest.raises(ValueError, match="schema"):
         load_bench(bogus)
+
+
+def test_bench_serial_only_snapshot_on_single_worker():
+    """workers=1 (what a 1-CPU host resolves to) skips the parallel pass
+    and records an honest serial-only snapshot instead of pool noise."""
+    doc = run_bench_suite(workers=1, specs=tiny_specs()[:2])
+    assert doc["workers"] == 1
+    assert doc["parallel_wall_time_s"] is None
+    assert doc["speedup"] is None
+    assert doc["parallel_matches_serial"] is None
+    assert "parallel_skipped" in doc
+    assert "skipped" in render_bench(doc)
+
+
+def test_freeze_value_round_trips_and_ignores_insertion_order():
+    nested = {"outer": {"b": [1, 2], "a": {3, 1}}, "plain": 5}
+    permuted = {"plain": 5, "outer": {"a": {1, 3}, "b": [1, 2]}}
+    assert freeze_value(nested) == freeze_value(permuted)
+    hash(freeze_value(nested))  # the whole point: frozen form is hashable
+    thawed = thaw_value(freeze_value(nested))
+    assert thawed == {"outer": {"b": (1, 2), "a": {3, 1}}, "plain": 5}
+
+
+def test_runspec_with_dict_overrides_stays_hashable():
+    spec = RunSpec.make(
+        "migratory-counters", ProtocolPolicy.adaptive_default(),
+        knobs={"beta": 2, "alpha": 1}, order=[3, 1], iterations=6,
+    )
+    hash(spec)  # must not raise (the RunSpec hashability contract)
+    assert spec.override_kwargs() == {
+        "knobs": {"beta": 2, "alpha": 1}, "order": (3, 1), "iterations": 6,
+    }
+
+
+def test_default_chunksize():
+    assert parallel._default_chunksize(1, 4) == 1
+    assert parallel._default_chunksize(8, 2) == 1
+    assert parallel._default_chunksize(64, 2) == 8
+    assert parallel._default_chunksize(1000, 4) == 62
+
+
+def test_pool_reused_across_run_many_calls():
+    """The sweep-phase pattern — many same-width run_many calls — must
+    reuse one pool instead of forking a fresh one per call."""
+    shutdown_pool()
+    try:
+        run_many(tiny_specs()[:2], workers=2)
+        first = parallel._POOL
+        assert first is not None
+        run_many(tiny_specs()[2:], workers=2)
+        assert parallel._POOL is first  # same width -> same pool
+        run_many(tiny_specs()[:2], workers=3)
+        assert parallel._POOL is not first  # width change -> rebuilt
+    finally:
+        shutdown_pool()
+    assert parallel._POOL is None

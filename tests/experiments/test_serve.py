@@ -1,0 +1,174 @@
+"""The ``repro-sim serve`` daemon, end to end over real HTTP.
+
+The server runs on an asyncio loop in a background thread bound to an
+ephemeral port; the stdlib ``ServeClient`` talks to it exactly as a
+remote submitter would.  Under test: batch submission, cross-submission
+dedupe by content address, cache-backed instant resolution on resubmit,
+NDJSON progress streaming, and result fingerprints matching a local run.
+"""
+
+import asyncio
+import contextlib
+import threading
+
+import pytest
+
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.parallel import RunSpec, execute_spec, result_fingerprint
+from repro.experiments.store import CODE_VERSION_ENV, ResultStore, spec_key
+from repro.serve import ExperimentServer, ServeClient
+from repro.serve.client import ServeError
+
+
+@pytest.fixture(autouse=True)
+def pinned_code_version(monkeypatch):
+    monkeypatch.setenv(CODE_VERSION_ENV, "serve-test-rev")
+
+
+@contextlib.contextmanager
+def running_server(store, workers=1):
+    """An ExperimentServer on an ephemeral port, loop in a daemon thread."""
+    srv = ExperimentServer(store, workers=workers, port=0)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def main():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(srv.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=main, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    try:
+        yield srv
+    finally:
+        asyncio.run_coroutine_threadsafe(srv.close(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+@pytest.fixture
+def server(tmp_path):
+    with running_server(ResultStore(tmp_path / "cache")) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    return ServeClient(f"http://127.0.0.1:{server.port}")
+
+
+def tiny_specs():
+    return [
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.adaptive_default(),
+            preset="tiny", iterations=6, tag="mig/AD",
+        ),
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.write_invalidate(),
+            preset="tiny", iterations=6, tag="mig/W-I",
+        ),
+    ]
+
+
+def test_serve_end_to_end(server, client):
+    health = client.healthz()
+    assert health["ok"] and health["workers"] == 1
+
+    specs = tiny_specs()
+    duplicated = specs + [specs[0]]  # 3 submissions, 2 unique cells
+    job = client.submit_specs(duplicated)
+    assert job["total"] == 3
+    status = client.wait(job["job"], timeout=120)
+    assert status["complete"]
+    assert status["finished"] == 3
+    assert all(c["status"] == "done" for c in status["cells"])
+    # The duplicate attached to the existing cell instead of re-running.
+    assert status["cells"][0]["key"] == status["cells"][2]["key"]
+    stats = client.stats()
+    assert stats["specs_submitted"] == 3
+    assert stats["specs_deduped"] == 1
+    assert stats["cells"] == 2
+
+    # Served results are byte-identical to a local fresh simulation.
+    entry = client.result(spec_key(specs[0]))
+    assert entry["fingerprint"] == result_fingerprint(
+        execute_spec(specs[0]).unwrap()
+    )
+
+    # The stream replays one event per unique finished cell, then job-done.
+    events = list(client.stream(job["job"]))
+    assert [e["event"] for e in events[:-1]] == ["cell"] * 2
+    assert all(e["status"] == "done" for e in events[:-1])
+    assert events[-1] == {"event": "job-done", "job": job["job"], "total": 3}
+
+    # Resubmission to the same server attaches to the completed in-memory
+    # cells — instantly complete, nothing re-simulated.
+    rerun = client.submit_specs(specs)
+    assert rerun["complete"]
+    assert all(c["status"] == "done" for c in rerun["cells"])
+    assert client.stats()["specs_deduped"] == 3
+
+    # A *fresh* daemon over the same store directory resolves the whole
+    # batch from the persistent cache without touching a worker.
+    with running_server(ResultStore(server.store.root)) as second:
+        warm_client = ServeClient(f"http://127.0.0.1:{second.port}")
+        warm = warm_client.submit_specs(specs)
+        assert warm["complete"]
+        assert all(c["status"] == "cached" for c in warm["cells"])
+        assert warm_client.stats()["cache"]["hits"] == 2
+        # And the served entry is still the verified original.
+        entry = warm_client.result(spec_key(specs[0]))
+        assert entry["fingerprint"] == result_fingerprint(
+            execute_spec(specs[0]).unwrap()
+        )
+
+
+def test_serve_shorthand_specs(server, client):
+    job = client.submit([
+        {
+            "workload": "migratory-counters",
+            "policy": "AD",
+            "consistency": "SC",
+            "preset": "tiny",
+            "overrides": {"iterations": 6},
+        }
+    ])
+    status = client.wait(job["job"], timeout=120)
+    assert status["cells"][0]["status"] == "done"
+    # The shorthand keys identically to the equivalent RunSpec.
+    assert status["cells"][0]["key"] == spec_key(
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.adaptive_default(),
+            preset="tiny", iterations=6,
+        )
+    )
+
+
+def test_serve_failed_cell_reported_not_fatal(server, client):
+    job = client.submit([
+        {"workload": "no-such-workload", "policy": "AD", "preset": "tiny"}
+    ])
+    status = client.wait(job["job"], timeout=120)
+    [cell] = status["cells"]
+    assert cell["status"] == "failed"
+    assert "no-such-workload" in cell["error"]
+    assert client.healthz()["ok"]  # daemon survived the failure
+
+
+def test_serve_rejects_bad_requests(server, client):
+    with pytest.raises(ServeError) as excinfo:
+        client.submit([])
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.submit([{"policy": "AD"}])  # no workload
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client.job("job-999")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServeError) as excinfo:
+        client.result("0" * 64)
+    assert excinfo.value.status == 404

@@ -1,8 +1,16 @@
 """CLI tests (fast paths only)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the default result cache away from the working tree."""
+    monkeypatch.setenv("REPRO_SIM_CACHE", str(tmp_path / "cli-cache"))
 
 
 def test_list_command(capsys):
@@ -41,8 +49,54 @@ def test_unknown_protocol_rejected():
 def test_parser_has_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for sub in ("run", "compare", "table1", "report", "bench", "list"):
+    for sub in ("run", "compare", "table1", "report", "bench", "list",
+                "figure5", "serve", "cache"):
         assert sub in text
+
+
+def test_run_command_warm_cache(capsys):
+    args = ["run", "migratory-counters", "--protocol", "AD"]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "miss (stored)" in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "hit (fingerprint verified)" in warm
+    # Identical printed metrics apart from the cache line.
+    strip = lambda out: [l for l in out.splitlines() if "result cache" not in l]
+    assert strip(cold) == strip(warm)
+    assert main(args + ["--no-cache"]) == 0
+    assert "disabled" in capsys.readouterr().out
+
+
+def test_figure5_command_warm_cache(tmp_path, capsys):
+    stats1, stats2 = tmp_path / "cold.json", tmp_path / "warm.json"
+    args = ["figure5", "--preset", "tiny", "--no-check"]
+    assert main(args + ["--stats-json", str(stats1)]) == 0
+    out = capsys.readouterr().out
+    assert "W-I" in out and "result cache" in out
+    cold = json.loads(stats1.read_text())
+    assert cold["hits"] == 0 and cold["stores"] == cold["misses"] > 0
+
+    assert main(args + ["--stats-json", str(stats2)]) == 0
+    capsys.readouterr()
+    warm = json.loads(stats2.read_text())
+    assert warm["misses"] == 0
+    assert warm["hit_rate"] == 1.0
+    assert warm["hits"] == cold["stores"]
+
+
+def test_cache_stats_and_clear(capsys):
+    assert main(["run", "migratory-counters"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["entries"] == 1
+    assert doc["code_version"]
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 0
 
 
 def test_compare_command_workers(capsys):
