@@ -143,18 +143,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
-    """Run the Figure 5 sweep (optionally cached) and print the chart."""
+    """Run the Figure 5 sweep (optionally cached) and print the chart.
+
+    With a store, the sweep is checkpointed: an interrupted run saves
+    per-cell progress and ``--resume`` relaunches it, recomputing only
+    the cells the store does not already hold.  ``--backend serve``
+    executes cold cells on a remote daemon instead of local processes.
+    """
     import json
 
     from repro.experiments import render_figure5, run_figure5
+    from repro.experiments.checkpoint import (
+        CheckpointMismatch,
+        SweepCheckpoint,
+        SweepInterrupted,
+    )
 
     store = _open_store(args)
-    rows = run_figure5(
-        preset=args.preset,
-        check_coherence=not args.no_check,
-        workers=args.workers,
-        store=store,
-    )
+    checkpoint = None
+    if args.checkpoint or args.resume:
+        if store is None:
+            raise SystemExit(
+                "--checkpoint/--resume need the result cache: a checkpoint "
+                "records which cells are warm in the store, so --no-cache "
+                "would have nothing to resume from"
+            )
+        path = args.checkpoint or (
+            store.root / "checkpoints" / f"figure5-{args.preset}.json"
+        )
+        checkpoint = SweepCheckpoint(path, resume=args.resume)
+    run_kwargs = {}
+    if args.timeout is not None:
+        run_kwargs["timeout"] = args.timeout
+    if args.backend != "local":
+        run_kwargs["backend"] = args.backend
+        run_kwargs["serve_url"] = args.serve_url
+    try:
+        rows = run_figure5(
+            preset=args.preset,
+            check_coherence=not args.no_check,
+            workers=args.workers,
+            store=store,
+            checkpoint=checkpoint,
+            **run_kwargs,
+        )
+    except CheckpointMismatch as exc:
+        raise SystemExit(str(exc)) from None
+    except SweepInterrupted as exc:
+        counts = exc.checkpoint.counts()
+        done = counts.get("done", 0) + counts.get("cached", 0)
+        print(f"\ninterrupted: {done}/{exc.checkpoint.total} cells finished; "
+              f"checkpoint saved to {exc.checkpoint.path}")
+        print("relaunch with --resume to recompute only the cold cells")
+        return 130
+    if checkpoint is not None:
+        counts = checkpoint.counts()
+        print(f"checkpoint: {counts} -> {checkpoint.path}")
     print(render_figure5(rows))
     if store is not None:
         print()
@@ -173,20 +217,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.experiments.parallel import default_workers
     from repro.experiments.store import ResultStore, default_cache_dir
+    from repro.serve.faults import ServeFaultPlan
     from repro.serve.server import run_server
 
     store = ResultStore(args.cache_dir or default_cache_dir())
     workers = args.workers if args.workers else default_workers()
+    faults = None
+    if args.fault_kills or args.fault_drop_frames:
+        # Chaos mode: deterministic worker kills / dropped stream frames
+        # to exercise the daemon's own recovery paths (CI smoke uses it).
+        faults = ServeFaultPlan(
+            seed=args.fault_seed,
+            kill_fraction=1.0 if args.fault_kills else 0.0,
+            max_kills=args.fault_kills,
+            drop_frame_fraction=1.0 if args.fault_drop_frames else 0.0,
+            max_drops=args.fault_drop_frames,
+        )
     try:
-        asyncio.run(run_server(store, workers=workers,
-                               host=args.host, port=args.port))
+        asyncio.run(run_server(
+            store, workers=workers, host=args.host, port=args.port,
+            cell_timeout=args.cell_timeout, job_timeout=args.job_timeout,
+            max_attempts=args.max_attempts, faults=faults,
+        ))
     except KeyboardInterrupt:
         print("\nshutting down")
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """'64M', '2G', '100K', '512', '1.5g' -> bytes."""
+    raw = text.strip().upper().rstrip("B")
+    units = {"K": 1024, "M": 1024 ** 2, "G": 1024 ** 3, "T": 1024 ** 4}
+    factor = 1
+    if raw and raw[-1] in units:
+        factor = units[raw[-1]]
+        raw = raw[:-1]
+    try:
+        return int(float(raw) * factor)
+    except ValueError:
+        raise SystemExit(
+            f"bad size {text!r}: expected e.g. 512, 100K, 64M, 2G"
+        ) from None
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
-    """Inspect or clear the persistent result cache."""
+    """Inspect, prune, or clear the persistent result cache."""
     import json
 
     from repro.experiments.store import ResultStore, default_cache_dir
@@ -195,6 +270,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} cached results from {store.root}")
+        return 0
+    if args.action == "prune":
+        if args.max_bytes is None:
+            raise SystemExit("cache prune needs --max-bytes (e.g. 64M)")
+        report = store.prune(_parse_size(args.max_bytes))
+        print(f"evicted {report['evicted']} least-recently-fetched entries "
+              f"({store.stats.evicted_bytes} bytes); "
+              f"{report['remaining_entries']} entries / "
+              f"{report['remaining_bytes']} bytes remain in {store.root}")
         return 0
     print(json.dumps(store.summary(), indent=2, sort_keys=True))
     return 0
@@ -519,6 +603,25 @@ def build_parser() -> argparse.ArgumentParser:
     fig5_p.add_argument("--stats-json", default=None, metavar="STATS_JSON",
                         help="write cache hit/miss stats + store summary "
                              "as JSON (CI warm-cache gate reads this)")
+    fig5_p.add_argument("--checkpoint", default=None, metavar="FILE",
+                        help="record per-cell progress here (default: "
+                             "<cache>/checkpoints/figure5-<preset>.json "
+                             "when --resume is given)")
+    fig5_p.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from its "
+                             "checkpoint, recomputing only cold cells")
+    fig5_p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-cell wall-clock deadline (pooled runs); "
+                             "a stuck cell fails as CellTimeout instead of "
+                             "hanging the sweep")
+    fig5_p.add_argument("--backend", choices=("local", "serve"),
+                        default="local",
+                        help="where cold cells execute: this host's "
+                             "processes, or a repro-sim serve daemon "
+                             "(falls back to local if unreachable)")
+    fig5_p.add_argument("--serve-url", default=None, metavar="URL",
+                        help="daemon URL for --backend serve (default "
+                             "$REPRO_SIM_SERVE or http://127.0.0.1:8787)")
     _add_cache_args(fig5_p)
     fig5_p.set_defaults(func=_cmd_figure5)
 
@@ -677,14 +780,39 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="result-cache root shared with the CLI "
                               "(default .repro-cache, or $REPRO_SIM_CACHE)")
+    serve_p.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="per-cell deadline; a stuck cell is requeued "
+                              "(its worker killed) instead of wedging a slot")
+    serve_p.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="per-job deadline; on expiry the job's "
+                              "unstarted cells are cancelled")
+    serve_p.add_argument("--max-attempts", type=int, default=3,
+                         help="execution attempts per cell before a crash/"
+                              "timeout becomes terminal (default 3)")
+    serve_p.add_argument("--fault-kills", type=int, default=0, metavar="N",
+                         help="chaos: kill up to N workers mid-cell "
+                              "(seeded; exercises requeue + pool rebuild)")
+    serve_p.add_argument("--fault-drop-frames", type=int, default=0,
+                         metavar="N",
+                         help="chaos: drop up to N stream frames "
+                              "(exercises client stream resumption)")
+    serve_p.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the fault plan's deterministic draws")
     serve_p.set_defaults(func=_cmd_serve)
 
     cache_p = sub.add_parser(
-        "cache", help="inspect or clear the persistent result cache"
+        "cache", help="inspect, prune, or clear the persistent result cache"
     )
-    cache_p.add_argument("action", choices=("stats", "clear"),
+    cache_p.add_argument("action", choices=("stats", "prune", "clear"),
                          help="stats: print the store summary as JSON; "
+                              "prune: LRU-evict down to --max-bytes; "
                               "clear: delete every cached entry + artifact")
+    cache_p.add_argument("--max-bytes", default=None, metavar="SIZE",
+                         help="prune target size (e.g. 512, 100K, 64M, 2G): "
+                              "least-recently-fetched entries and their "
+                              "artifacts are evicted until the store fits")
     cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="result-cache root (default .repro-cache, or "
                               "$REPRO_SIM_CACHE)")

@@ -1,0 +1,193 @@
+"""Resumable sweep checkpoints.
+
+A :class:`SweepCheckpoint` is a small JSON document recording, per cell
+of a sweep, whether the cell has finished (and how: done / failed /
+cached) — the *results* themselves live in the content-addressed
+:class:`~repro.experiments.store.ResultStore`, so the checkpoint only
+needs to know which cells are still cold.  ``run_many(...,
+checkpoint=...)`` updates it as cells complete; an interrupt (Ctrl-C,
+SIGTERM via KeyboardInterrupt) saves the document and raises
+:class:`SweepInterrupted` carrying the partial outcomes, and a relaunch
+with ``resume=True`` verifies the sweep identity (same specs, same code
+version) and lets the store serve the warm cells so only cold ones are
+recomputed.
+
+Layout (``repro-checkpoint/1``)::
+
+    {
+      "schema": "repro-checkpoint/1",
+      "sweep": "<sha256 over code_version + ordered spec keys>",
+      "total": 12,
+      "counts": {"done": 7, "failed": 0, "pending": 5},
+      "order": ["<key>", ...],               # submission order
+      "cells": {"<key>": {"label": ..., "status": ..., "attempts": ...}}
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments.store import code_version, spec_key
+
+CHECKPOINT_SCHEMA = "repro-checkpoint/1"
+
+
+class CheckpointMismatch(ValueError):
+    """A resume attempt whose sweep doesn't match the checkpoint on disk."""
+
+
+class SweepInterrupted(RuntimeError):
+    """An interrupted ``run_many`` call, carrying its partial progress.
+
+    ``outcomes`` lines up index-for-index with the submitted specs, with
+    ``None`` in every position that had not finished; ``checkpoint`` is
+    the saved :class:`SweepCheckpoint` to resume from.
+    """
+
+    def __init__(self, outcomes: List[Optional[Any]], checkpoint: "SweepCheckpoint"):
+        done = sum(1 for outcome in outcomes if outcome is not None)
+        super().__init__(
+            f"sweep interrupted: {done}/{len(outcomes)} cells finished; "
+            f"checkpoint saved to {checkpoint.path}"
+        )
+        self.outcomes = outcomes
+        self.checkpoint = checkpoint
+
+
+def sweep_identity(specs: Sequence[Any]) -> str:
+    """A digest identifying a sweep: code version + ordered cell keys.
+
+    Any change to the spec list, their order, or the simulator source
+    produces a different identity, so a stale checkpoint can't silently
+    resume the wrong sweep.
+    """
+    digest = hashlib.sha256()
+    digest.update(code_version().encode())
+    for spec in specs:
+        digest.update(spec_key(spec).encode())
+    return digest.hexdigest()[:24]
+
+
+class SweepCheckpoint:
+    """Per-cell progress record for one sweep, persisted as JSON.
+
+    ``resume=True`` loads an existing document at ``path`` (it is not an
+    error for none to exist yet); :meth:`begin` then verifies it belongs
+    to the sweep being launched.  ``save_every`` batches disk writes:
+    the document is rewritten after every ``save_every``-th recorded
+    cell (and always on :meth:`save`).
+    """
+
+    def __init__(self, path, *, resume: bool = False, save_every: int = 1):
+        self.path = Path(path)
+        self.save_every = max(1, save_every)
+        self.sweep = ""
+        self.total = 0
+        self.order: List[str] = []
+        self.cells: Dict[str, Dict[str, Any]] = {}
+        self._labels: Dict[str, str] = {}
+        self._unsaved = 0
+        self._loaded: Optional[Dict[str, Any]] = None
+        if resume and self.path.exists():
+            doc = json.loads(self.path.read_text())
+            if doc.get("schema") != CHECKPOINT_SCHEMA:
+                raise CheckpointMismatch(
+                    f"{self.path} is not a {CHECKPOINT_SCHEMA} document "
+                    f"(schema={doc.get('schema')!r})"
+                )
+            self._loaded = doc
+
+    def begin(self, specs: Sequence[Any]) -> None:
+        """Bind the checkpoint to ``specs``, merging any loaded progress."""
+        self.sweep = sweep_identity(specs)
+        self.order = [spec_key(spec) for spec in specs]
+        self.total = len(self.order)
+        self._labels = {
+            key: getattr(spec, "label", key)
+            for key, spec in zip(self.order, specs)
+        }
+        if self._loaded is not None:
+            if self._loaded.get("sweep") != self.sweep:
+                raise CheckpointMismatch(
+                    f"checkpoint {self.path} records a different sweep "
+                    f"(saved {self._loaded.get('sweep')!r}, launching "
+                    f"{self.sweep!r}); the spec list or code version changed"
+                )
+            self.cells = dict(self._loaded.get("cells", {}))
+            self._loaded = None
+        for key in self.order:
+            self.cells.setdefault(key, {
+                "label": self._labels.get(key, key),
+                "status": "pending",
+                "attempts": 0,
+            })
+        self.save()
+
+    def record(self, spec: Any, outcome: Any) -> None:
+        """Record one finished cell (called by ``run_many`` per outcome)."""
+        key = spec_key(spec)
+        cell = self.cells.setdefault(key, {"label": getattr(spec, "label", key)})
+        if outcome.ok:
+            cell["status"] = "cached" if outcome.cached else "done"
+            cell["attempts"] = 1 if not outcome.cached else 0
+        else:
+            cell["status"] = "failed"
+            cell["attempts"] = outcome.error.attempts
+            cell["error"] = str(outcome.error)
+        self._unsaved += 1
+        if self._unsaved >= self.save_every:
+            self.save()
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for key in self.order:
+            status = self.cells.get(key, {}).get("status", "pending")
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def cold_keys(self) -> List[str]:
+        """Cells not yet successfully finished, in submission order."""
+        return [
+            key for key in self.order
+            if self.cells.get(key, {}).get("status", "pending")
+            not in ("done", "cached")
+        ]
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.order) and not self.cold_keys()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": CHECKPOINT_SCHEMA,
+            "sweep": self.sweep,
+            "total": self.total,
+            "counts": self.counts(),
+            "order": self.order,
+            "cells": self.cells,
+        }
+
+    def save(self) -> None:
+        """Atomically rewrite the checkpoint document."""
+        self._unsaved = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True)
+        handle, temp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                stream.write(payload)
+            os.replace(temp, self.path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except OSError:
+                pass
+            raise

@@ -54,10 +54,18 @@ def run_figure5(
     check_coherence: bool = True,
     workers: int = 1,
     store=None,
+    **run_kwargs,
 ) -> List[Figure5Row]:
+    """The four paper benchmarks under W-I and AD, one row per workload.
+
+    Extra keyword arguments (timeout, max_attempts, checkpoint,
+    backend, ...) pass through to ``run_many``, so the sweep can run
+    with deadlines, against a checkpoint, or on a remote daemon.
+    """
     comparisons = compare_many(
         PAPER_BENCHMARKS, preset=preset, config=config,
         check_coherence=check_coherence, workers=workers, store=store,
+        **run_kwargs,
     )
     return [
         Figure5Row(

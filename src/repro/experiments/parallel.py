@@ -11,13 +11,30 @@ order the specs were given regardless of completion order.
 Design points:
 
 * **Processes, not threads.**  A run is CPU-bound Python; the pool uses
-  ``multiprocessing`` (``fork`` where available, ``spawn`` otherwise).
+  a :class:`concurrent.futures.ProcessPoolExecutor` (``fork`` where
+  available, ``spawn`` otherwise).
 * **Deterministic ordering.**  Results are re-indexed by submission
   order, so ``run_many(specs, workers=8)`` is byte-identical to
   ``run_many(specs, workers=1)``.
 * **Per-run error capture.**  A failing run produces a structured
   :class:`RunError` inside its outcome instead of killing the pool; the
   other runs complete normally.
+* **Crash recovery.**  A worker process that dies (OOM kill, segfault,
+  ``os._exit``) breaks the executor; the in-flight cells are re-submitted
+  on a fresh pool a bounded number of times (``max_attempts``), and the
+  poisoned pool is discarded so it can never be handed to a later call.
+* **Per-cell wall-clock timeouts.**  ``run_many(..., timeout=...)`` caps
+  each cell's running time; a stuck cell yields a ``CellTimeout``
+  :class:`RunError` (and a pool rebuild reclaims its worker) instead of
+  hanging the whole sweep.  Timeouts need the pool: the serial inline
+  path cannot preempt a run and ignores ``timeout``.
+* **Checkpointed sweeps.**  ``run_many(..., checkpoint=...)`` records
+  per-cell progress in a
+  :class:`~repro.experiments.checkpoint.SweepCheckpoint`; an interrupt
+  (Ctrl-C) saves the checkpoint and raises
+  :class:`~repro.experiments.checkpoint.SweepInterrupted` carrying the
+  partial results, so the sweep can be relaunched to recompute only cold
+  cells (the :class:`ResultStore` holds the warm ones).
 * **Graceful serial fallback.**  ``workers=1``, a single spec, or a
   platform without multiprocessing support all run inline in this
   process (no pool, no pickling).
@@ -30,12 +47,20 @@ Design points:
   :class:`~repro.experiments.store.ResultStore` and populates it with
   fresh ones; cached outcomes are fingerprint-verified and byte-identical
   to recomputation.
+* **Remote execution.**  ``run_many(..., backend="serve")`` ships the
+  cold cells to a ``repro-sim serve`` daemon
+  (:class:`~repro.serve.client.ServeClient`) and falls back to local
+  execution when the daemon is unreachable.
 """
 
 from __future__ import annotations
 
 import atexit
+import concurrent.futures
 import multiprocessing
+import os
+import random
+import sys
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -52,6 +77,33 @@ from repro.machine.system import RunResult
 #: wrongly; no simulator knob looks like that.)
 _DICT_TAG = "__frozen-dict__"
 _SET_TAG = "__frozen-set__"
+
+#: ``RunError.exc_type`` for a cell that exceeded its wall-clock deadline.
+CELL_TIMEOUT = "CellTimeout"
+#: ``RunError.exc_type`` for a cell lost to more worker crashes than
+#: ``max_attempts`` allows.
+WORKER_CRASH = "WorkerCrash"
+
+#: Environment override for the default ``backend="serve"`` daemon URL.
+SERVE_URL_ENV = "REPRO_SIM_SERVE"
+_DEFAULT_SERVE_URL = "http://127.0.0.1:8787"
+
+
+def backoff_delay(
+    attempt: int, *, base: float = 0.05, cap: float = 2.0, key: str = ""
+) -> float:
+    """Capped exponential backoff with deterministic jitter.
+
+    The delay for attempt ``n`` is ``min(cap, base * 2**(n-1))`` scaled
+    by a jitter factor in [0.5, 1.0) drawn from a stream seeded by
+    ``(key, attempt)`` — so retries of different cells desynchronize,
+    but the same (key, attempt) always waits the same amount, keeping
+    retry schedules reproducible.
+    """
+    if attempt <= 0:
+        return 0.0
+    jitter = random.Random(f"{key}:{attempt}").uniform(0.5, 1.0)
+    return min(cap, base * (2 ** (attempt - 1))) * jitter
 
 
 def freeze_value(value: Any) -> Any:
@@ -156,12 +208,13 @@ class RunError:
 
     Carries everything needed to triage a failure without re-running it:
     the exception type and message, the worker-side traceback, the sweep
-    coordinates (workload/policy/seed) of the failing spec, and — when
-    the exception was a :class:`~repro.sim.engine.SimulationError` with
-    an attached :class:`~repro.faults.diagnostics.DiagnosticDump` — the
-    dump itself as a JSON-compatible dict (dataclass fields must pickle
-    cleanly across the process boundary, hence the dict form; rebuild
-    with :meth:`diagnostic_dump`).
+    coordinates (workload/policy/seed) of the failing spec, how many
+    execution attempts the cell consumed (crash-recovery retries), and —
+    when the exception was a :class:`~repro.sim.engine.SimulationError`
+    with an attached :class:`~repro.faults.diagnostics.DiagnosticDump` —
+    the dump itself as a JSON-compatible dict (dataclass fields must
+    pickle cleanly across the process boundary, hence the dict form;
+    rebuild with :meth:`diagnostic_dump`).
     """
 
     exc_type: str
@@ -171,6 +224,7 @@ class RunError:
     policy: str = ""
     seed: int = 0
     dump: Optional[dict] = None
+    attempts: int = 1
 
     def __str__(self) -> str:
         where = f" [{self.workload}/{self.policy} seed={self.seed}]" if self.workload else ""
@@ -194,9 +248,9 @@ class RunOutcome:
     error: Optional[RunError] = None
     #: Host wall-clock seconds spent inside the run.
     wall_time: float = 0.0
-    #: True when the result was served from a ResultStore instead of
-    #: being simulated in this call (``wall_time`` is then the fetch
-    #: cost, not the simulation cost).
+    #: True when the result was served from a ResultStore (or a remote
+    #: daemon's store) instead of being simulated in this call
+    #: (``wall_time`` is then the fetch cost, not the simulation cost).
     cached: bool = field(default=False, compare=False)
 
     @property
@@ -255,6 +309,13 @@ def _execute_indexed(item: Tuple[int, RunSpec]) -> Tuple[int, RunOutcome]:
     return index, execute_spec(spec)
 
 
+def _execute_chunk(
+    items: List[Tuple[int, RunSpec]],
+) -> List[Tuple[int, RunOutcome]]:
+    """Pool entry point: several runs per IPC round trip."""
+    return [(index, execute_spec(spec)) for index, spec in items]
+
+
 def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
     """The preferred multiprocessing context, or None if unavailable."""
     try:
@@ -275,36 +336,55 @@ def default_workers() -> int:
 #: The shared worker pool, kept alive across run_many calls.  A sweep is
 #: many small phases (one per table row/figure bar); rebuilding a pool
 #: per phase used to cost more than short batches saved, which is how
-#: the committed bench recorded a 0.91x "speedup".  Pool workers are
-#: daemonic, and :func:`shutdown_pool` is registered atexit.
-_POOL: Optional[Any] = None
+#: the committed bench recorded a 0.91x "speedup".  :func:`shutdown_pool`
+#: is registered atexit, and any executor failure (a crashed or hung
+#: worker) discards the pool so a broken executor is never reused.
+_POOL: Optional[concurrent.futures.ProcessPoolExecutor] = None
 _POOL_WORKERS: int = 0
 
 
 def shutdown_pool() -> None:
-    """Tear down the shared worker pool (tests; interpreter exit)."""
-    global _POOL, _POOL_WORKERS
-    if _POOL is not None:
-        _POOL.terminate()
-        _POOL.join()
-        _POOL = None
-        _POOL_WORKERS = 0
+    """Tear down the shared worker pool, killing any hung workers.
 
-
-def _shared_pool(workers: int) -> Optional[Any]:
-    """A persistent pool of exactly ``workers`` processes, or None.
-
-    The pool is rebuilt only when the requested width changes; repeated
-    same-width calls (the sweep-phase pattern) reuse it as-is.
+    Used by tests, at interpreter exit, and whenever an executor failure
+    poisons the pool (the next :func:`_shared_pool` call builds a fresh
+    one).
     """
     global _POOL, _POOL_WORKERS
-    if _POOL is not None and _POOL_WORKERS == workers:
+    if _POOL is None:
+        return
+    discard, _POOL, _POOL_WORKERS = _POOL, None, 0
+    processes = list((getattr(discard, "_processes", None) or {}).values())
+    try:
+        discard.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown of a broken pool
+        pass
+    for process in processes:
+        if process.is_alive():
+            process.kill()
+
+
+def _shared_pool(workers: int) -> Optional[concurrent.futures.ProcessPoolExecutor]:
+    """A persistent pool of exactly ``workers`` processes, or None.
+
+    The pool is rebuilt when the requested width changes or the executor
+    is broken (a worker died); repeated healthy same-width calls (the
+    sweep-phase pattern) reuse it as-is.
+    """
+    global _POOL, _POOL_WORKERS
+    if (
+        _POOL is not None
+        and _POOL_WORKERS == workers
+        and not getattr(_POOL, "_broken", False)
+    ):
         return _POOL
     context = _pool_context()
     if context is None:
         return None
     shutdown_pool()
-    _POOL = context.Pool(processes=workers)
+    _POOL = concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, mp_context=context
+    )
     _POOL_WORKERS = workers
     return _POOL
 
@@ -318,11 +398,221 @@ def _default_chunksize(pending: int, workers: int) -> int:
     return max(1, pending // (workers * 4))
 
 
+def _failed_outcome(
+    spec: RunSpec, exc_type: str, message: str, attempts: int
+) -> RunOutcome:
+    return RunOutcome(
+        spec=spec,
+        error=RunError(
+            exc_type=exc_type,
+            message=message,
+            traceback="",
+            workload=spec.workload,
+            policy=spec.policy.name,
+            seed=spec.seed,
+            attempts=attempts,
+        ),
+    )
+
+
+def _drain_chunked(
+    pool: concurrent.futures.ProcessPoolExecutor,
+    pending: List[Tuple[int, RunSpec]],
+    chunksize: Optional[int],
+    workers: int,
+) -> Tuple[List[Tuple[int, RunOutcome]], List[Tuple[int, RunSpec]], bool]:
+    """Submit everything in chunks and collect what completes.
+
+    Returns ``(completed, survivors, broken)``: cells whose chunk failed
+    at the executor level (worker death, cancellation) come back as
+    survivors with ``broken=True`` so the caller can retry them on a
+    fresh pool.
+    """
+    size = chunksize or _default_chunksize(len(pending), workers)
+    futures: Dict[Any, List[Tuple[int, RunSpec]]] = {}
+    completed: List[Tuple[int, RunOutcome]] = []
+    survivors: List[Tuple[int, RunSpec]] = []
+    broken = False
+    for start in range(0, len(pending), size):
+        chunk = pending[start:start + size]
+        try:
+            futures[pool.submit(_execute_chunk, chunk)] = chunk
+        except Exception:  # pool already broken: refuse, retry elsewhere
+            survivors.extend(chunk)
+            broken = True
+    for future, chunk in futures.items():
+        try:
+            completed.extend(future.result())
+        except (Exception, concurrent.futures.CancelledError):
+            survivors.extend(chunk)
+            broken = True
+    return completed, survivors, broken
+
+
+def _drain_windowed(
+    pool: concurrent.futures.ProcessPoolExecutor,
+    pending: List[Tuple[int, RunSpec]],
+    timeout: float,
+    workers: int,
+) -> Tuple[
+    List[Tuple[int, RunOutcome]],
+    List[Tuple[int, RunSpec]],
+    List[Tuple[int, RunSpec]],
+    bool,
+]:
+    """Timeout-enforcing drain: at most ``workers`` cells in flight, each
+    with its own wall-clock deadline starting at submission.
+
+    Keeping the window no wider than the pool means a submitted cell has
+    a free worker, so submission time ≈ start time and the deadline is an
+    honest per-cell clock.  Returns ``(completed, survivors, timed_out,
+    broken)``; a timed-out cell poisons the pool (its worker is stuck),
+    so the round ends and the caller retries the survivors on a fresh
+    pool.  Timed-out cells are *not* retried — a deterministic simulation
+    that blew its deadline once will blow it again.
+    """
+    queue = list(pending)
+    inflight: Dict[Any, Tuple[int, RunSpec, float]] = {}
+    completed: List[Tuple[int, RunOutcome]] = []
+    survivors: List[Tuple[int, RunSpec]] = []
+    timed_out: List[Tuple[int, RunSpec]] = []
+    broken = False
+    while (queue or inflight) and not broken:
+        while queue and len(inflight) < workers:
+            index, spec = queue.pop(0)
+            try:
+                future = pool.submit(_execute_indexed, (index, spec))
+            except Exception:
+                survivors.append((index, spec))
+                broken = True
+                break
+            inflight[future] = (index, spec, time.monotonic() + timeout)
+        if broken or not inflight:
+            break
+        nearest = min(deadline for _, _, deadline in inflight.values())
+        done, _ = concurrent.futures.wait(
+            list(inflight),
+            timeout=max(0.0, nearest - time.monotonic()),
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        if done:
+            for future in done:
+                index, spec, _ = inflight.pop(future)
+                try:
+                    completed.append(future.result())
+                except (Exception, concurrent.futures.CancelledError):
+                    survivors.append((index, spec))
+                    broken = True
+            continue
+        # Nothing completed before the nearest deadline: every *running*
+        # overdue cell is stuck.  Pending-but-overdue cells merely queued
+        # behind a stuck worker; they survive to the retry round.
+        now = time.monotonic()
+        for future in list(inflight):
+            index, spec, deadline = inflight[future]
+            if deadline <= now and future.running():
+                inflight.pop(future)
+                timed_out.append((index, spec))
+                future.cancel()
+        broken = True
+    if broken:
+        survivors.extend((index, spec) for index, spec, _ in inflight.values())
+        survivors.extend(queue)
+    return completed, survivors, timed_out, broken
+
+
+def _run_pooled(
+    pending: List[Tuple[int, RunSpec]],
+    workers: int,
+    chunksize: Optional[int],
+    timeout: Optional[float],
+    max_attempts: int,
+    on_result,
+) -> None:
+    """Execute pending cells on the shared pool with crash recovery.
+
+    Worker crashes (``BrokenProcessPool``) discard the poisoned pool and
+    re-submit the in-flight cells on a fresh one, up to ``max_attempts``
+    rounds with deterministic backoff; cells still unfinished then fail
+    with a ``WorkerCrash`` error carrying the attempt count.  Outcomes
+    are delivered through ``on_result(index, outcome)`` as each retry
+    round completes, so an interrupt loses at most the in-flight round
+    (everything delivered is already recorded/checkpointed).
+    """
+    remaining = list(pending)
+    attempt = 0
+    while remaining:
+        pool = _shared_pool(workers)
+        if pool is None:  # pragma: no cover - no multiprocessing support
+            for index, spec in remaining:
+                on_result(index, execute_spec(spec))
+            return
+        if timeout is None:
+            completed, survivors, broken = _drain_chunked(
+                pool, remaining, chunksize, workers
+            )
+            just_timed_out: List[Tuple[int, RunSpec]] = []
+        else:
+            completed, survivors, just_timed_out, broken = _drain_windowed(
+                pool, remaining, timeout, workers
+            )
+        for index, outcome in completed:
+            on_result(index, outcome)
+        for index, spec in just_timed_out:
+            on_result(index, _failed_outcome(
+                spec, CELL_TIMEOUT,
+                f"exceeded the {timeout}s per-cell wall-clock deadline",
+                attempts=attempt + 1,
+            ))
+        if not broken:
+            return
+        # The pool is poisoned (crashed worker or hung cell): discard it
+        # so neither this retry round nor a later run_many call can be
+        # handed a broken executor.
+        shutdown_pool()
+        attempt += 1
+        if attempt >= max_attempts:
+            for index, spec in survivors:
+                on_result(index, _failed_outcome(
+                    spec, WORKER_CRASH,
+                    f"worker pool died {attempt} time(s) running this batch",
+                    attempts=attempt,
+                ))
+            return
+        if survivors:
+            time.sleep(backoff_delay(attempt, key=f"run_many:{len(pending)}"))
+        remaining = sorted(survivors, key=lambda item: item[0])
+
+
+def _run_via_serve(
+    specs: List[RunSpec], serve_url: Optional[str]
+) -> Optional[List[RunOutcome]]:
+    """Execute specs against a remote daemon, or None if it's unreachable."""
+    from repro.serve.client import ServeClient, ServeUnavailable
+
+    url = serve_url or os.environ.get(SERVE_URL_ENV) or _DEFAULT_SERVE_URL
+    client = ServeClient(url, retries=2)
+    try:
+        return client.run_many(specs)
+    except ServeUnavailable as exc:
+        print(
+            f"serve backend unreachable ({exc}); falling back to local execution",
+            file=sys.stderr,
+        )
+        return None
+
+
 def run_many(
     specs: Sequence[RunSpec],
     workers: int = 1,
     chunksize: Optional[int] = None,
     store: Optional[Any] = None,
+    *,
+    timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    checkpoint: Optional[Any] = None,
+    backend: str = "local",
+    serve_url: Optional[str] = None,
 ) -> List[RunOutcome]:
     """Execute every spec and return outcomes in submission order.
 
@@ -338,40 +628,75 @@ def run_many(
     consulted per spec before simulating — hits come back as cached
     outcomes with verified fingerprints — and populated with every fresh
     successful result afterwards.  Failed runs are never cached.
+
+    Resilience knobs:
+
+    * ``timeout`` — per-cell wall-clock deadline in seconds (pooled
+      execution only); a stuck cell fails with a ``CellTimeout`` error
+      instead of hanging the sweep.
+    * ``max_attempts`` — how many pool rebuild/retry rounds a worker
+      crash may consume before the surviving cells fail with
+      ``WorkerCrash``.
+    * ``checkpoint`` — a
+      :class:`~repro.experiments.checkpoint.SweepCheckpoint` updated as
+      cells finish; a KeyboardInterrupt saves it and raises
+      :class:`~repro.experiments.checkpoint.SweepInterrupted` with the
+      partial outcomes.
+    * ``backend="serve"`` — execute cold cells on a remote ``repro-sim
+      serve`` daemon (``serve_url``, ``$REPRO_SIM_SERVE``, or
+      localhost:8787), falling back to local execution when the daemon
+      is unreachable.  Remote results are fingerprint-verified and used
+      to warm the local ``store``.
     """
     specs = list(specs)
     if not specs:
         return []
+    if checkpoint is not None:
+        checkpoint.begin(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
-    if store is not None:
-        pending: List[Tuple[int, RunSpec]] = []
-        for index, spec in enumerate(specs):
-            hit = store.fetch(spec)
-            if hit is not None:
-                outcomes[index] = hit
-            else:
-                pending.append((index, spec))
-    else:
-        pending = list(enumerate(specs))
 
-    if pending:
-        pool = (
-            _shared_pool(workers)
-            if workers > 1 and len(pending) > 1
-            else None
-        )
-        if pool is None:
-            computed = [(index, execute_spec(spec)) for index, spec in pending]
+    def record(index: int, outcome: RunOutcome, put: bool) -> None:
+        outcomes[index] = outcome
+        if put and store is not None and outcome.ok:
+            store.put(outcome)
+        if checkpoint is not None:
+            checkpoint.record(specs[index], outcome)
+
+    pending: List[Tuple[int, RunSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = store.fetch(spec) if store is not None else None
+        if hit is not None:
+            record(index, hit, put=False)
         else:
-            if chunksize is None:
-                chunksize = _default_chunksize(len(pending), workers)
-            computed = list(
-                pool.imap_unordered(_execute_indexed, pending, chunksize=chunksize)
-            )
-        for index, outcome in computed:
-            outcomes[index] = outcome
-            if store is not None and outcome.ok:
-                store.put(outcome)
+            pending.append((index, spec))
+
+    try:
+        if pending and backend == "serve":
+            served = _run_via_serve([spec for _, spec in pending], serve_url)
+            if served is not None:
+                for (index, _), outcome in zip(pending, served):
+                    record(index, outcome, put=True)
+                pending = []
+        if pending:
+            if workers > 1 and len(pending) > 1:
+                _run_pooled(
+                    pending, workers, chunksize, timeout, max_attempts,
+                    lambda index, outcome: record(
+                        index, outcome, put=not outcome.cached
+                    ),
+                )
+            else:
+                # Record cell by cell so an interrupt keeps finished work.
+                for index, spec in pending:
+                    outcome = execute_spec(spec)
+                    record(index, outcome, put=not outcome.cached)
+    except KeyboardInterrupt:
+        if checkpoint is None:
+            raise
+        from repro.experiments.checkpoint import SweepInterrupted
+
+        checkpoint.save()
+        raise SweepInterrupted(outcomes, checkpoint) from None
     assert all(outcome is not None for outcome in outcomes)
     return outcomes  # type: ignore[return-value]
 
@@ -396,7 +721,10 @@ def result_fingerprint(result: RunResult) -> dict:
 
 
 def run_pairs(
-    specs: Sequence[RunSpec], workers: int = 1, store: Optional[Any] = None
+    specs: Sequence[RunSpec],
+    workers: int = 1,
+    store: Optional[Any] = None,
+    **run_kwargs,
 ) -> List[Tuple[RunResult, RunResult]]:
     """Execute an even list of specs and unwrap them as (even, odd) pairs.
 
@@ -405,7 +733,7 @@ def run_pairs(
     """
     if len(specs) % 2:
         raise ValueError(f"run_pairs needs an even spec count, got {len(specs)}")
-    outcomes = run_many(specs, workers=workers, store=store)
+    outcomes = run_many(specs, workers=workers, store=store, **run_kwargs)
     return [
         (outcomes[i].unwrap(), outcomes[i + 1].unwrap())
         for i in range(0, len(outcomes), 2)

@@ -150,11 +150,14 @@ def compare_protocols(
     seed: int = 42,
     workers: int = 1,
     store=None,
+    run_kwargs: Optional[dict] = None,
     **workload_overrides,
 ) -> ProtocolComparison:
     """Run a workload under both W-I and AD with identical parameters.
 
     ``workers=2`` runs the two independent simulations concurrently.
+    ``run_kwargs`` passes resilience options (timeout, max_attempts,
+    checkpoint, backend, ...) through to :func:`run_many`.
     """
     specs = comparison_specs(
         workload, preset=preset, consistency=consistency, config=config,
@@ -162,7 +165,9 @@ def compare_protocols(
     )
     wi, ad = [
         outcome.unwrap()
-        for outcome in run_many(specs, workers=workers, store=store)
+        for outcome in run_many(
+            specs, workers=workers, store=store, **(run_kwargs or {})
+        )
     ]
     return ProtocolComparison(workload=workload, wi=wi, ad=ad)
 
@@ -177,11 +182,14 @@ def compare_many(
     seed: int = 42,
     workers: int = 1,
     store=None,
+    **run_kwargs,
 ) -> Dict[str, ProtocolComparison]:
     """W-I vs AD for several workloads, fanned out over one worker pool.
 
     All ``2 * len(workloads)`` runs are independent, so the pool drains
-    them together instead of pairing serially per workload.
+    them together instead of pairing serially per workload.  Extra
+    keyword arguments (timeout, max_attempts, checkpoint, backend, ...)
+    pass through to :func:`run_many`.
     """
     specs: List[RunSpec] = []
     for name in workloads:
@@ -191,7 +199,7 @@ def compare_many(
                 check_coherence=check_coherence, seed=seed,
             )
         )
-    outcomes = run_many(specs, workers=workers, store=store)
+    outcomes = run_many(specs, workers=workers, store=store, **run_kwargs)
     comparisons = {}
     for index, name in enumerate(workloads):
         wi = outcomes[2 * index].unwrap()

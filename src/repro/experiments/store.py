@@ -248,6 +248,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -263,6 +265,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -332,6 +336,12 @@ class ResultStore:
                     verified = False
             if verified:
                 self.stats.hits += 1
+                try:
+                    # Recency bump: prune() evicts least-recently-fetched
+                    # entries first, so a served hit refreshes its mtime.
+                    os.utime(path)
+                except OSError:  # pragma: no cover - read-only store
+                    pass
                 return RunOutcome(
                     spec=spec,
                     result=result,
@@ -410,6 +420,55 @@ class ResultStore:
             if child.is_dir():
                 shutil.rmtree(child)
         return count
+
+    def prune(self, max_bytes: int) -> Dict[str, Any]:
+        """Size-bounded LRU eviction: shrink the store to ``max_bytes``.
+
+        Entries are ranked by their entry file's mtime — refreshed on
+        every verified fetch — so the least-recently-*fetched* cells go
+        first.  An evicted cell takes its artifact directory with it
+        (artifacts are meaningless without the result they annotate) and
+        its artifact bytes count toward the cell's footprint.  Returns a
+        JSON-ready report for ``repro-sim cache prune``.
+        """
+        import shutil
+
+        entries = []
+        for key in self.keys():
+            path = self.entry_path(key)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            size = stat.st_size + self._artifact_bytes(key)
+            entries.append((stat.st_mtime, key, path, size))
+        entries.sort(key=lambda item: (item[0], item[1]))
+        total = sum(size for _, _, _, size in entries)
+        evicted_keys: List[str] = []
+        for _, key, path, size in entries:
+            if total <= max_bytes:
+                break
+            path.unlink(missing_ok=True)
+            artifact_dir = self.artifacts / key
+            if artifact_dir.is_dir():
+                shutil.rmtree(artifact_dir, ignore_errors=True)
+            total -= size
+            evicted_keys.append(key)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += size
+        return {
+            "max_bytes": max_bytes,
+            "evicted": len(evicted_keys),
+            "evicted_keys": evicted_keys,
+            "remaining_entries": len(self),
+            "remaining_bytes": total,
+        }
+
+    def _artifact_bytes(self, key: str) -> int:
+        path = self.artifacts / key
+        if not path.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
 
     def summary(self) -> Dict[str, Any]:
         """One JSON document for ``repro-sim cache stats`` and CI artifacts."""

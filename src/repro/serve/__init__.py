@@ -7,9 +7,24 @@ concurrent clients, warm cells answer straight from the store, cold
 cells are scheduled onto a fixed process pool, and progress streams back
 as newline-delimited JSON.  Results and their trace/metrics/profile
 artifacts persist in the store for every later sweep.
+
+The service is fault-tolerant: crashed or stuck workers are detected,
+the pool is rebuilt, and the affected cells are requeued with bounded
+attempts and deterministic backoff; clients retry, reconnect, and resume
+progress streams from the last-seen event.  A seeded
+:class:`~repro.serve.faults.ServeFaultPlan` (worker kills, delayed
+completions, dropped stream frames) makes every recovery path
+chaos-testable.
 """
 
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, ServeError, ServeUnavailable
+from repro.serve.faults import ServeFaultPlan
 from repro.serve.server import ExperimentServer
 
-__all__ = ["ExperimentServer", "ServeClient"]
+__all__ = [
+    "ExperimentServer",
+    "ServeClient",
+    "ServeError",
+    "ServeFaultPlan",
+    "ServeUnavailable",
+]

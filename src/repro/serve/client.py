@@ -1,4 +1,4 @@
-"""A minimal client for the ``repro-sim serve`` daemon.
+"""A resilient client for the ``repro-sim serve`` daemon.
 
 Stdlib-only (``urllib``), so any script — or another machine on the
 network — can submit sweep batches and read results without installing
@@ -8,18 +8,56 @@ anything:
     job = client.submit_specs(figure5_suite("tiny"))
     status = client.wait(job["job"])
     entry = client.result(status["cells"][0]["key"])
+
+Resilience:
+
+* Every route retries connection-level failures with capped exponential
+  backoff and deterministic jitter; a daemon that stays unreachable
+  raises :class:`ServeUnavailable` (a ``ConnectionError``), which the
+  ``run_many(backend="serve")`` path catches to fall back to local
+  execution.  HTTP-level errors (4xx/5xx) raise :class:`ServeError`
+  immediately — retrying a rejected request would just re-reject.
+* :meth:`wait` polls with capped exponential backoff instead of a fixed
+  interval, so short jobs resolve quickly and long jobs don't hammer
+  the daemon.
+* :meth:`stream` resumes a dropped NDJSON connection from the last
+  event actually seen (the server replays from ``?after=<seq>``), so a
+  flaky network yields each progress event exactly once.
+* :meth:`run_many` executes a whole sweep remotely and rebuilds
+  fingerprint-verified :class:`~repro.experiments.parallel.RunOutcome`
+  objects, making a remote daemon a drop-in execution backend.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import socket
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
-from repro.experiments.parallel import RunSpec
-from repro.experiments.store import spec_to_json
+from repro.experiments.parallel import (
+    RunError,
+    RunOutcome,
+    RunSpec,
+    backoff_delay,
+    result_fingerprint,
+)
+from repro.experiments.store import result_from_json, spec_key, spec_to_json
+
+#: Failures worth retrying: the request may never have reached the
+#: daemon, or the response was cut off.  (HTTPError subclasses URLError,
+#: so it must be handled *before* this tuple is consulted.)
+_CONNECTION_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    ConnectionError,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+)
 
 
 class ServeError(RuntimeError):
@@ -31,12 +69,46 @@ class ServeError(RuntimeError):
         self.body = body
 
 
-class ServeClient:
-    """Talk to one ExperimentServer over HTTP."""
+class ServeUnavailable(ConnectionError):
+    """The daemon stayed unreachable through every retry."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+
+def _error_body(exc: urllib.error.HTTPError) -> Any:
+    """The most useful rendering of an HTTP error's payload.
+
+    Prefer the decoded JSON body; fall back to the *raw* body text (a
+    traceback or proxy page says far more than a status line), and only
+    then to the bare reason phrase.
+    """
+    try:
+        raw = exc.read().decode(errors="replace")
+    except Exception:
+        raw = ""
+    if raw:
+        try:
+            return json.loads(raw)
+        except ValueError:
+            return raw.strip()
+    return exc.reason
+
+
+class ServeClient:
+    """Talk to one ExperimentServer over HTTP, retrying transient faults."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        *,
+        retries: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
 
     # -- raw transport -------------------------------------------------
 
@@ -44,21 +116,32 @@ class ServeClient:
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         data = json.dumps(body).encode() if body is not None else None
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode())
-        except urllib.error.HTTPError as exc:
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.retries + 2):
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
             try:
-                payload = json.loads(exc.read().decode())
-            except ValueError:
-                payload = exc.reason
-            raise ServeError(exc.code, payload) from None
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode())
+            except urllib.error.HTTPError as exc:
+                raise ServeError(exc.code, _error_body(exc)) from None
+            except _CONNECTION_ERRORS as exc:
+                last = exc
+                if attempt <= self.retries:
+                    time.sleep(backoff_delay(
+                        attempt,
+                        base=self.backoff_base,
+                        cap=self.backoff_cap,
+                        key=f"{self.base_url}:{method} {path}",
+                    ))
+        raise ServeUnavailable(
+            f"{method} {self.base_url}{path} failed after "
+            f"{self.retries + 1} attempt(s): {last}"
+        ) from last
 
     # -- API -----------------------------------------------------------
 
@@ -79,6 +162,10 @@ class ServeClient:
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")
 
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job: its not-yet-running unshared cells are abandoned."""
+        return self._request("DELETE", f"/jobs/{job_id}")
+
     def result(self, key: str) -> Dict[str, Any]:
         """The stored entry (spec, fingerprint, result payload) for a key."""
         return self._request("GET", f"/results/{key}")
@@ -87,10 +174,20 @@ class ServeClient:
         return self._request("GET", f"/results/{key}/artifacts")["artifacts"]
 
     def wait(
-        self, job_id: str, timeout: float = 300.0, poll: float = 0.1
+        self,
+        job_id: str,
+        timeout: float = 300.0,
+        poll: float = 0.05,
+        poll_cap: float = 1.0,
     ) -> Dict[str, Any]:
-        """Poll until the job completes; returns its final status."""
+        """Poll until the job completes; returns its final status.
+
+        The poll interval starts at ``poll`` and doubles up to
+        ``poll_cap``: fast jobs resolve within milliseconds, long jobs
+        cost the daemon at most one status request per second.
+        """
         deadline = time.monotonic() + timeout
+        interval = poll
         while True:
             status = self.job(job_id)
             if status["complete"]:
@@ -100,15 +197,141 @@ class ServeClient:
                     f"job {job_id} incomplete after {timeout}s: "
                     f"{status['finished']}/{status['total']} cells"
                 )
-            time.sleep(poll)
+            time.sleep(min(interval, max(0.0, deadline - time.monotonic())))
+            interval = min(interval * 2, poll_cap)
 
-    def stream(self, job_id: str) -> Iterator[Dict[str, Any]]:
-        """Yield the job's NDJSON progress events as they arrive."""
-        request = urllib.request.Request(
-            f"{self.base_url}/jobs/{job_id}/stream", method="GET"
-        )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            for line in response:
-                line = line.strip()
-                if line:
-                    yield json.loads(line.decode())
+    def stream(
+        self, job_id: str, after: int = -1, resume: bool = True
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's NDJSON progress events as they arrive.
+
+        Every event carries a monotonically increasing ``seq``; when the
+        connection drops mid-stream (or a frame arrives truncated), the
+        client reconnects with ``?after=<last seen seq>`` and the server
+        replays only what was missed — each event is yielded exactly
+        once.  The terminal ``job-done`` event ends the stream; an EOF
+        *without* it is treated as a drop.
+        """
+        last = after
+        failures = 0
+        while True:
+            request = urllib.request.Request(
+                f"{self.base_url}/jobs/{job_id}/stream?after={last}", method="GET"
+            )
+            finished = False
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    for line in response:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        event = json.loads(line.decode())
+                        last = event.get("seq", last)
+                        failures = 0
+                        yield event
+                        if event.get("event") == "job-done":
+                            finished = True
+                            break
+            except urllib.error.HTTPError as exc:
+                raise ServeError(exc.code, _error_body(exc)) from None
+            except (_CONNECTION_ERRORS + (ValueError,)) as exc:
+                # ValueError: a frame truncated by a dropped connection.
+                if not resume or failures >= self.retries:
+                    raise ServeUnavailable(
+                        f"stream for job {job_id} dropped after event {last}: {exc}"
+                    ) from exc
+                failures += 1
+                time.sleep(backoff_delay(
+                    failures,
+                    base=self.backoff_base,
+                    cap=self.backoff_cap,
+                    key=f"{self.base_url}:stream {job_id}",
+                ))
+                continue
+            if finished:
+                return
+            # Clean EOF without job-done: the server hung up early.
+            if not resume or failures >= self.retries:
+                raise ServeUnavailable(
+                    f"stream for job {job_id} ended after event {last} "
+                    f"without job-done"
+                )
+            failures += 1
+            time.sleep(backoff_delay(
+                failures,
+                base=self.backoff_base,
+                cap=self.backoff_cap,
+                key=f"{self.base_url}:stream {job_id}",
+            ))
+
+    # -- sweep backend -------------------------------------------------
+
+    def run_many(
+        self, specs: Sequence[RunSpec], timeout: float = 600.0
+    ) -> List[RunOutcome]:
+        """Execute a sweep on the daemon; outcomes line up with ``specs``.
+
+        Each finished cell's stored entry is fetched once (duplicates
+        share it), its result rebuilt, and its fingerprint re-verified
+        locally — a served outcome is byte-identical to local execution
+        or it comes back as a ``FingerprintMismatch`` error.  Failed and
+        cancelled cells become structured :class:`RunError` outcomes
+        carrying the server's error and attempt count.
+        """
+        specs = list(specs)
+        job = self.submit_specs(specs)
+        status = self.wait(job["job"], timeout=timeout)
+        entries: Dict[str, Optional[Dict[str, Any]]] = {}
+        outcomes: List[RunOutcome] = []
+        for spec, cell in zip(specs, status["cells"]):
+            key = cell["key"]
+            if cell["status"] in ("done", "cached"):
+                if key not in entries:
+                    try:
+                        entries[key] = self.result(key)
+                    except ServeError:
+                        entries[key] = None
+                entry = entries[key]
+                verified = False
+                if entry is not None:
+                    try:
+                        result = result_from_json(entry["result"])
+                        verified = (
+                            result_fingerprint(result) == entry["fingerprint"]
+                        )
+                    except Exception:
+                        verified = False
+                if verified:
+                    outcomes.append(RunOutcome(
+                        spec=spec,
+                        result=result,
+                        wall_time=entry.get("wall_time_s", 0.0),
+                        cached=True,
+                    ))
+                    continue
+                outcomes.append(RunOutcome(spec=spec, error=RunError(
+                    exc_type="FingerprintMismatch",
+                    message=(
+                        f"served entry for {spec_key(spec)[:12]} failed local "
+                        f"fingerprint verification"
+                    ),
+                    traceback="",
+                    workload=spec.workload,
+                    policy=spec.policy.name,
+                    seed=spec.seed,
+                )))
+                continue
+            exc_type = (
+                "ServeCellCancelled" if cell["status"] == "cancelled"
+                else "ServeCellFailed"
+            )
+            outcomes.append(RunOutcome(spec=spec, error=RunError(
+                exc_type=exc_type,
+                message=cell.get("error") or f"cell status {cell['status']!r}",
+                traceback="",
+                workload=spec.workload,
+                policy=spec.policy.name,
+                seed=spec.seed,
+                attempts=cell.get("attempts", 1) or 1,
+            )))
+        return outcomes

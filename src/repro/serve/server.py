@@ -8,45 +8,73 @@ JSON API below, not a general web server.
 API
 ---
 
-``GET  /healthz``            liveness + worker/cache configuration
-``POST /jobs``               submit a batch: ``{"specs": [<spec>, ...]}``
-                             (spec wire form: ``store.spec_to_json``;
-                             ``"policy"``/``"consistency"`` accept
-                             shorthand names).  Response: job id plus one
-                             cell record per spec — already-cached cells
-                             resolve instantly, duplicates (within the
-                             batch or against other clients' in-flight
-                             cells) attach to the existing cell.
-``GET  /jobs/<id>``          job status: per-cell state + counts
-``GET  /jobs/<id>/stream``   newline-delimited JSON progress events, one
-                             per cell completion, then a ``job-done``
-                             line; streams live until the job finishes
-``GET  /results/<key>``      the stored entry (spec, fingerprint, result)
-``GET  /results/<key>/artifacts``  artifact listing for the cell
-``GET  /stats``              cache stats + scheduler counters
+``GET    /healthz``            liveness + worker/cache configuration
+``POST   /jobs``               submit a batch: ``{"specs": [<spec>, ...]}``
+                               (spec wire form: ``store.spec_to_json``;
+                               ``"policy"``/``"consistency"`` accept
+                               shorthand names).  Response: job id plus one
+                               cell record per spec — already-cached cells
+                               resolve instantly, duplicates (within the
+                               batch or against other clients' in-flight
+                               cells) attach to the existing cell.
+``GET    /jobs/<id>``          job status: per-cell state + counts
+``DELETE /jobs/<id>``          cancel: queued/backoff cells not shared
+                               with another live job are abandoned;
+                               running cells finish (their work is kept)
+``GET    /jobs/<id>/stream``   newline-delimited JSON progress events,
+                               one per cell completion, then a
+                               ``job-done`` line.  Every event carries a
+                               monotonically increasing ``seq``;
+                               ``?after=<seq>`` replays from there, so a
+                               client that lost its connection resumes
+                               without missing or repeating events
+``GET    /results/<key>``      the stored entry (spec, fingerprint, result)
+``GET    /results/<key>/artifacts``  artifact listing for the cell
+``GET    /stats``              cache stats + scheduler/resilience counters
 
-Scheduling
-----------
+Scheduling & resilience
+-----------------------
 
-Cold cells run on a fixed pool of ``workers`` processes
+Cold cells run on a pool of ``workers`` processes
 (:class:`concurrent.futures.ProcessPoolExecutor`); an
 :class:`asyncio.Semaphore` of the same width keeps the queue honest so a
 cell is only marked ``running`` when it actually occupies a worker.
 Every unique cell executes at most once no matter how many jobs
 reference it — the dedupe map is keyed by the same content address the
 store uses.
+
+A cell whose worker dies (``BrokenProcessPool``) or whose attempt blows
+the ``cell_timeout`` deadline is *requeued* — the poisoned executor is
+torn down (stuck workers killed) and rebuilt exactly once per failure
+wave (a generation counter under a lock), and the cell retries after
+capped exponential backoff with deterministic jitter, up to
+``max_attempts`` before failing terminally with the attempt count in its
+:class:`~repro.experiments.parallel.RunError`.  ``job_timeout`` bounds a
+whole job: on expiry its still-unstarted cells are cancelled.  A
+:class:`~repro.serve.faults.ServeFaultPlan` makes all of these paths
+chaos-testable with seeded worker kills, delayed completions, and
+dropped stream frames.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import urllib.parse
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.experiments.parallel import RunOutcome, RunSpec, execute_spec
+from repro.experiments.parallel import (
+    RunError,
+    RunOutcome,
+    RunSpec,
+    _pool_context,
+    backoff_delay,
+    execute_spec,
+)
 from repro.experiments.store import ResultStore, spec_from_json, spec_key
+from repro.serve.faults import ServeFaultPlan
 
 SERVE_SCHEMA = "repro-serve/1"
 
@@ -64,11 +92,19 @@ class Cell:
 
     key: str
     spec: RunSpec
-    status: str  # queued | running | done | cached | failed
+    status: str  # queued | running | backoff | done | cached | failed | cancelled
     done: asyncio.Event
     outcome: Optional[RunOutcome] = None
     #: How many submitted specs (across all jobs) resolved to this cell.
     refs: int = 0
+    #: Execution attempts consumed (crash/timeout requeues increment it).
+    attempts: int = 0
+    #: Loop time the current attempt started (diagnostics).
+    started: float = 0.0
+    #: Last non-terminal failure or the cancellation reason.
+    last_error: str = ""
+    #: (exc_type, message) of the attempt that just failed, pre-requeue.
+    failure: Tuple[str, str] = ("", "")
 
     def to_json(self) -> Dict[str, Any]:
         doc = {
@@ -76,18 +112,28 @@ class Cell:
             "label": self.spec.label,
             "status": self.status,
             "refs": self.refs,
+            "attempts": self.attempts,
         }
         if self.outcome is not None and self.outcome.error is not None:
             doc["error"] = str(self.outcome.error)
+        elif self.status == "cancelled" and self.last_error:
+            doc["error"] = self.last_error
         return doc
 
 
 @dataclass
 class Job:
-    """One submitted batch: an ordered list of cell keys."""
+    """One submitted batch: an ordered list of cell keys + its event log."""
 
     id: str
     keys: List[str] = field(default_factory=list)
+    cancelled: bool = False
+    finished: bool = False
+    #: Append-only NDJSON event log; index == event["seq"], so any
+    #: stream connection can replay from ``?after=<seq>``.
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Replaced-and-set on every append; streams wait on the current one.
+    changed: asyncio.Event = field(default_factory=asyncio.Event)
 
 
 class ExperimentServer:
@@ -99,19 +145,41 @@ class ExperimentServer:
         workers: int = 1,
         host: str = "127.0.0.1",
         port: int = 8787,
+        *,
+        cell_timeout: Optional[float] = None,
+        job_timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        faults: Optional[ServeFaultPlan] = None,
     ) -> None:
         self.store = store
         self.workers = max(1, workers)
         self.host = host
         self.port = port
+        self.cell_timeout = cell_timeout
+        self.job_timeout = job_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.faults = faults
         self.cells: Dict[str, Cell] = {}
         self.jobs: Dict[str, Job] = {}
         self.submitted = 0
         self.deduped = 0
+        self.requeues = 0
+        self.timeouts = 0
+        self.worker_crashes = 0
+        self.executor_rebuilds = 0
+        self.cancelled_jobs = 0
+        self.fault_kills = 0
         self._job_counter = 0
+        self._generation = 0
         self._executor: Optional[ProcessPoolExecutor] = None
         self._slots: Optional[asyncio.Semaphore] = None
+        self._rebuild_lock: Optional[asyncio.Lock] = None
         self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set["asyncio.Task[Any]"] = set()
 
     # -- lifecycle -----------------------------------------------------
 
@@ -121,8 +189,11 @@ class ExperimentServer:
         ``port=0`` picks an ephemeral port; ``self.port`` is updated to
         the bound one either way.
         """
-        self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=_pool_context()
+        )
         self._slots = asyncio.Semaphore(self.workers)
+        self._rebuild_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -132,13 +203,24 @@ class ExperimentServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
         if self._executor is not None:
+            processes = list((getattr(self._executor, "_processes", None) or {}).values())
             self._executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                if process.is_alive():
+                    process.kill()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
         async with self._server:
             await self._server.serve_forever()
+
+    def _spawn(self, coro) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
 
     # -- scheduling ----------------------------------------------------
 
@@ -166,7 +248,15 @@ class ExperimentServer:
                     cell.outcome = cached
                     cell.done.set()
                 else:
-                    asyncio.get_running_loop().create_task(self._run_cell(cell))
+                    self._spawn(self._run_cell(cell))
+            elif cell.status == "cancelled":
+                # Revive: a new job wants a cell an earlier job abandoned.
+                cell.status = "queued"
+                cell.done = asyncio.Event()
+                cell.outcome = None
+                cell.attempts = 0
+                cell.last_error = ""
+                self._spawn(self._run_cell(cell))
             else:
                 # The dedupe path: an identical cell is already cached,
                 # queued, or running on behalf of another submission.
@@ -174,31 +264,233 @@ class ExperimentServer:
             cell.refs += 1
             job.keys.append(key)
         self.jobs[job.id] = job
+        self._spawn(self._record_job(job))
         return job
 
     async def _run_cell(self, cell: Cell) -> None:
-        assert self._slots is not None and self._executor is not None
-        async with self._slots:
-            cell.status = "running"
-            loop = asyncio.get_running_loop()
-            try:
-                outcome = await loop.run_in_executor(
-                    self._executor, execute_spec, cell.spec
-                )
-            except Exception as exc:  # pool death, pickling failure
-                cell.status = "failed"
-                cell.outcome = RunOutcome(
-                    spec=cell.spec, error=_synthetic_error(cell.spec, exc)
-                )
-                cell.done.set()
+        """Drive one cell to a terminal state, requeueing on faults."""
+        assert self._slots is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            if cell.status == "cancelled":
                 return
-            cell.outcome = outcome
-            if outcome.ok:
-                self.store.put(outcome)
-                cell.status = "done"
+            async with self._slots:
+                if cell.status == "cancelled":
+                    return
+                cell.attempts += 1
+                cell.status = "running"
+                cell.started = loop.time()
+                requeue = await self._attempt(cell, loop)
+            if not requeue:
+                return
+            cell.status = "backoff"
+            self.requeues += 1
+            await asyncio.sleep(backoff_delay(
+                cell.attempts,
+                base=self.backoff_base,
+                cap=self.backoff_cap,
+                key=cell.key,
+            ))
+
+    async def _attempt(self, cell: Cell, loop) -> bool:
+        """One execution attempt; returns True when the cell must requeue."""
+        generation = self._generation
+        kill_task = None
+        if self.faults is not None and self.faults.should_kill(
+            cell.key, cell.attempts
+        ):
+            self.fault_kills += 1
+            kill_task = loop.create_task(self._fault_kill(generation))
+        try:
+            future = loop.run_in_executor(self._executor, execute_spec, cell.spec)
+            if self.cell_timeout is not None:
+                outcome = await asyncio.wait_for(future, self.cell_timeout)
             else:
-                cell.status = "failed"
+                outcome = await future
+        except asyncio.TimeoutError:
+            self.timeouts += 1
+            cell.failure = (
+                "CellTimeout",
+                f"exceeded the {self.cell_timeout}s per-cell deadline",
+            )
+            await self._rebuild_executor(generation)
+            return self._requeue_or_fail(cell)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # BrokenProcessPool, pickling failure, ...
+            self.worker_crashes += 1
+            cell.failure = (type(exc).__name__, str(exc) or "worker process died")
+            await self._rebuild_executor(generation)
+            return self._requeue_or_fail(cell)
+        finally:
+            if kill_task is not None:
+                kill_task.cancel()
+        if self.faults is not None:
+            delay = self.faults.completion_delay(cell.key)
+            if delay:
+                await asyncio.sleep(delay)
+        cell.outcome = outcome
+        if outcome.ok:
+            self.store.put(outcome)
+            cell.status = "done"
+        else:
+            cell.status = "failed"
+        cell.done.set()
+        return False
+
+    def _requeue_or_fail(self, cell: Cell) -> bool:
+        """Schedule a retry, or fail the cell once its attempts are spent."""
+        exc_type, message = cell.failure
+        cell.last_error = f"{exc_type}: {message}"
+        if cell.attempts < self.max_attempts:
+            return True
+        cell.outcome = RunOutcome(spec=cell.spec, error=RunError(
+            exc_type=exc_type,
+            message=f"{message} (gave up after {cell.attempts} attempt(s))",
+            traceback="",
+            workload=cell.spec.workload,
+            policy=cell.spec.policy.name,
+            seed=cell.spec.seed,
+            attempts=cell.attempts,
+        ))
+        cell.status = "failed"
+        cell.done.set()
+        return False
+
+    async def _rebuild_executor(self, generation: int) -> None:
+        """Replace the (possibly poisoned) pool, once per failure wave.
+
+        Several cells can observe the same crash; the generation counter
+        under the lock makes the first one rebuild and the rest reuse the
+        fresh pool.  Workers of the old pool that are still alive (a
+        stuck cell after a timeout) are killed so their CPU comes back.
+        """
+        assert self._rebuild_lock is not None
+        async with self._rebuild_lock:
+            if generation != self._generation:
+                return
+            self._generation += 1
+            self.executor_rebuilds += 1
+            old, self._executor = self._executor, ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_pool_context()
+            )
+            if old is not None:
+                processes = list((getattr(old, "_processes", None) or {}).values())
+                old.shutdown(wait=False, cancel_futures=True)
+                for process in processes:
+                    if process.is_alive():
+                        process.kill()
+
+    async def _fault_kill(self, generation: int) -> None:
+        """ServeFaultPlan hook: kill one live worker of this generation."""
+        assert self.faults is not None
+        await asyncio.sleep(self.faults.kill_delay)
+        # The pool spawns processes lazily on first submit; poll briefly
+        # so the kill lands even when it races the spawn.
+        for _ in range(50):
+            if generation != self._generation:
+                return
+            processes = [
+                process
+                for process in (getattr(self._executor, "_processes", None) or {}).values()
+                if process.is_alive()
+            ]
+            if processes:
+                processes[0].kill()
+                return
+            await asyncio.sleep(0.01)
+
+    # -- job tracking --------------------------------------------------
+
+    async def _record_job(self, job: Job) -> None:
+        """Build the job's event log as cells finish; enforce job_timeout."""
+        loop = asyncio.get_running_loop()
+        deadline = (
+            loop.time() + self.job_timeout if self.job_timeout is not None else None
+        )
+        pending = list(dict.fromkeys(job.keys))
+        try:
+            while pending:
+                ready = [key for key in pending if self.cells[key].done.is_set()]
+                if ready:
+                    for key in ready:
+                        pending.remove(key)
+                        self._append_event(job, self.cells[key])
+                    continue
+                waiters = {
+                    asyncio.ensure_future(self.cells[key].done.wait()): key
+                    for key in pending
+                }
+                timeout = (
+                    None if deadline is None else max(0.0, deadline - loop.time())
+                )
+                finished, unfinished = await asyncio.wait(
+                    waiters, timeout=timeout,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                for waiter in unfinished:
+                    waiter.cancel()
+                if not finished and deadline is not None and loop.time() >= deadline:
+                    self.cancel_job(
+                        job,
+                        reason=f"job exceeded the {self.job_timeout}s deadline",
+                    )
+                    # Cancelled cells resolve instantly; running ones are
+                    # allowed to finish (their work is kept) — so from
+                    # here, just drain without a deadline.
+                    deadline = None
+        finally:
+            job.finished = True
+            job.events.append({
+                "event": "job-done",
+                "job": job.id,
+                "total": len(job.keys),
+                "seq": len(job.events),
+                "cancelled": job.cancelled,
+            })
+            self._notify(job)
+
+    def _append_event(self, job: Job, cell: Cell) -> None:
+        event = dict(cell.to_json())
+        event.update({
+            "event": "cell",
+            "seq": len(job.events),
+            "finished": len(job.events) + 1,
+            "total": len(job.keys),
+        })
+        job.events.append(event)
+        self._notify(job)
+
+    @staticmethod
+    def _notify(job: Job) -> None:
+        waiter, job.changed = job.changed, asyncio.Event()
+        waiter.set()
+
+    def cancel_job(self, job: Job, reason: str = "cancelled by client") -> None:
+        """Abandon the job's not-yet-running cells (unless shared).
+
+        Running cells complete normally — their simulation work is kept
+        and cached.  Queued/backoff cells referenced by another live job
+        keep running for that job; the rest go terminal as ``cancelled``
+        (a later submission revives them).
+        """
+        if job.cancelled or job.finished:
+            return
+        job.cancelled = True
+        self.cancelled_jobs += 1
+        shared: Set[str] = set()
+        for other in self.jobs.values():
+            if other.id != job.id and not other.cancelled:
+                shared.update(other.keys)
+        for key in dict.fromkeys(job.keys):
+            cell = self.cells[key]
+            if key in shared or cell.status not in ("queued", "backoff"):
+                continue
+            cell.status = "cancelled"
+            cell.last_error = reason
             cell.done.set()
+
+    # -- status documents ----------------------------------------------
 
     def job_status(self, job: Job) -> Dict[str, Any]:
         cells = [self.cells[key].to_json() for key in job.keys]
@@ -206,7 +498,8 @@ class ExperimentServer:
         for cell in cells:
             counts[cell["status"]] = counts.get(cell["status"], 0) + 1
         finished = sum(
-            counts.get(status, 0) for status in ("done", "cached", "failed")
+            counts.get(status, 0)
+            for status in ("done", "cached", "failed", "cancelled")
         )
         return {
             "schema": SERVE_SCHEMA,
@@ -214,6 +507,7 @@ class ExperimentServer:
             "total": len(cells),
             "finished": finished,
             "complete": finished == len(cells),
+            "cancelled": job.cancelled,
             "counts": counts,
             "cells": cells,
         }
@@ -231,7 +525,22 @@ class ExperimentServer:
             "specs_submitted": self.submitted,
             "specs_deduped": self.deduped,
             "cache": self.store.summary(),
+            "scheduler": {
+                "requeues": self.requeues,
+                "timeouts": self.timeouts,
+                "worker_crashes": self.worker_crashes,
+                "executor_rebuilds": self.executor_rebuilds,
+                "cancelled_jobs": self.cancelled_jobs,
+                "fault_kills": self.fault_kills,
+            },
+            "resilience": {
+                "cell_timeout": self.cell_timeout,
+                "job_timeout": self.job_timeout,
+                "max_attempts": self.max_attempts,
+            },
         }
+        if self.faults is not None:
+            doc["faults"] = self.faults.to_json()
         return doc
 
     # -- HTTP plumbing -------------------------------------------------
@@ -270,7 +579,9 @@ class ExperimentServer:
         body: bytes,
         writer: asyncio.StreamWriter,
     ) -> None:
-        parts = [part for part in path.split("?")[0].split("/") if part]
+        raw_path, _, query_string = path.partition("?")
+        parts = [part for part in raw_path.split("/") if part]
+        query = urllib.parse.parse_qs(query_string)
         if method == "GET" and parts == ["healthz"]:
             await _respond_json(
                 writer, 200,
@@ -286,11 +597,13 @@ class ExperimentServer:
                 raise BadRequest("body is not valid JSON") from None
             job = self.submit(doc.get("specs"))
             await _respond_json(writer, 200, self.job_status(job))
-        elif method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+        elif method in ("GET", "DELETE") and len(parts) == 2 and parts[0] == "jobs":
             job = self.jobs.get(parts[1])
             if job is None:
                 await _respond_json(writer, 404, {"error": f"no job {parts[1]!r}"})
                 return
+            if method == "DELETE":
+                self.cancel_job(job)
             await _respond_json(writer, 200, self.job_status(job))
         elif (
             method == "GET"
@@ -302,7 +615,13 @@ class ExperimentServer:
             if job is None:
                 await _respond_json(writer, 404, {"error": f"no job {parts[1]!r}"})
                 return
-            await self._stream_job(job, writer)
+            try:
+                after = int(query.get("after", ["-1"])[0])
+            except ValueError:
+                raise BadRequest(
+                    f"after must be an integer, got {query['after'][0]!r}"
+                ) from None
+            await self._stream_job(job, writer, after)
         elif method == "GET" and len(parts) == 2 and parts[0] == "results":
             entry = self.store.load_entry(parts[1])
             if entry is None:
@@ -326,8 +645,17 @@ class ExperimentServer:
                 writer, 404, {"error": f"no route {method} /{'/'.join(parts)}"}
             )
 
-    async def _stream_job(self, job: Job, writer: asyncio.StreamWriter) -> None:
-        """NDJSON progress: one line per finished cell, then job-done."""
+    async def _stream_job(
+        self, job: Job, writer: asyncio.StreamWriter, after: int = -1
+    ) -> None:
+        """NDJSON progress replayed from ``after``: the job's event log.
+
+        Events are served from the job's append-only log, so any number
+        of connections — including one resuming after a drop — see the
+        same sequence.  The ``ServeFaultPlan`` drop-frame hook aborts the
+        connection *instead of* sending a frame, exercising exactly the
+        client's resume path.
+        """
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: application/x-ndjson\r\n"
@@ -335,43 +663,24 @@ class ExperimentServer:
             b"Connection: close\r\n\r\n"
         )
         await writer.drain()
-        pending = {key: self.cells[key] for key in job.keys}
-        emitted = 0
-        while pending:
-            waiters = {
-                asyncio.ensure_future(cell.done.wait()): key
-                for key, cell in pending.items()
-            }
-            finished, unfinished = await asyncio.wait(
-                waiters, return_when=asyncio.FIRST_COMPLETED
-            )
-            for waiter in unfinished:
-                waiter.cancel()
-            for waiter in finished:
-                key = waiters[waiter]
-                cell = pending.pop(key)
-                emitted += 1
-                event = dict(cell.to_json())
-                event.update({"event": "cell", "finished": emitted,
-                              "total": len(job.keys)})
+        index = max(0, after + 1)
+        while True:
+            if index < len(job.events):
+                event = job.events[index]
+                index += 1
+                if self.faults is not None and self.faults.should_drop_frame(
+                    job.id, event["seq"]
+                ):
+                    return  # dropped: the client reconnects with ?after=
                 writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
-            await writer.drain()
-        summary = {"event": "job-done", "job": job.id, "total": len(job.keys)}
-        writer.write((json.dumps(summary, sort_keys=True) + "\n").encode())
-        await writer.drain()
-
-
-def _synthetic_error(spec: RunSpec, exc: Exception):
-    from repro.experiments.parallel import RunError
-
-    return RunError(
-        exc_type=type(exc).__name__,
-        message=str(exc),
-        traceback="",
-        workload=spec.workload,
-        policy=spec.policy.name,
-        seed=spec.seed,
-    )
+                await writer.drain()
+                if event.get("event") == "job-done":
+                    return
+                continue
+            waiter = job.changed
+            if index < len(job.events):
+                continue
+            await waiter.wait()
 
 
 async def _read_request(
@@ -425,13 +734,34 @@ async def run_server(
     workers: int = 1,
     host: str = "127.0.0.1",
     port: int = 8787,
+    *,
+    cell_timeout: Optional[float] = None,
+    job_timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    faults: Optional[ServeFaultPlan] = None,
 ) -> None:
     """Start a server and block until cancelled (the CLI entry point)."""
-    server = ExperimentServer(store, workers=workers, host=host, port=port)
+    server = ExperimentServer(
+        store,
+        workers=workers,
+        host=host,
+        port=port,
+        cell_timeout=cell_timeout,
+        job_timeout=job_timeout,
+        max_attempts=max_attempts,
+        faults=faults,
+    )
     await server.start()
+    resilience = f"max_attempts={server.max_attempts}"
+    if cell_timeout is not None:
+        resilience += f", cell_timeout={cell_timeout}s"
+    if job_timeout is not None:
+        resilience += f", job_timeout={job_timeout}s"
+    if faults is not None:
+        resilience += ", FAULT INJECTION ON"
     print(
         f"repro-sim serve: http://{server.host}:{server.port} "
-        f"({server.workers} workers, cache {store.root})",
+        f"({server.workers} workers, cache {store.root}, {resilience})",
         flush=True,
     )
     try:

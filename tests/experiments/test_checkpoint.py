@@ -1,0 +1,130 @@
+"""Checkpointed sweeps: save on interrupt, resume recomputing only cold cells."""
+
+import json
+
+import pytest
+
+import tests.experiments.chaos_workloads  # noqa: F401 - registers test workloads
+
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointMismatch,
+    SweepCheckpoint,
+    SweepInterrupted,
+    sweep_identity,
+)
+from repro.experiments.parallel import RunSpec, run_many
+from repro.experiments.store import CODE_VERSION_ENV, ResultStore, spec_key
+
+
+@pytest.fixture(autouse=True)
+def pinned_code_version(monkeypatch):
+    monkeypatch.setenv(CODE_VERSION_ENV, "checkpoint-test-rev")
+
+
+def _specs():
+    return [
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.adaptive_default(),
+            preset="tiny", iterations=5, tag="mig/AD",
+        ),
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.write_invalidate(),
+            preset="tiny", iterations=5, tag="mig/W-I",
+        ),
+    ]
+
+
+def test_sweep_identity_tracks_specs_and_code(monkeypatch):
+    specs = _specs()
+    original = sweep_identity(specs)
+    assert original == sweep_identity(_specs())
+    assert original != sweep_identity(specs[:1])
+    assert original != sweep_identity(list(reversed(specs)))
+    # Same spec list, different code version -> different identity.
+    monkeypatch.setenv(CODE_VERSION_ENV, "another-rev")
+    assert sweep_identity(specs) != original
+
+
+def test_checkpoint_round_trip_and_document_shape(tmp_path):
+    specs = _specs()
+    path = tmp_path / "sweep.json"
+    checkpoint = SweepCheckpoint(path)
+    store = ResultStore(tmp_path / "cache")
+    outcomes = run_many(specs, store=store, checkpoint=checkpoint)
+    assert all(o.ok for o in outcomes)
+    assert checkpoint.complete
+    assert checkpoint.counts() == {"done": 2}
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == CHECKPOINT_SCHEMA
+    assert doc["total"] == 2
+    assert doc["order"] == [spec_key(s) for s in specs]
+    assert doc["cells"][spec_key(specs[0])]["status"] == "done"
+    assert doc["cells"][spec_key(specs[0])]["label"] == "mig/AD"
+
+    # Resuming a complete checkpoint over a warm store recomputes nothing.
+    resumed = SweepCheckpoint(path, resume=True)
+    warm = ResultStore(tmp_path / "cache")
+    again = run_many(specs, store=warm, checkpoint=resumed)
+    assert all(o.cached for o in again)
+    assert warm.stats.hits == 2 and warm.stats.misses == 0
+    assert resumed.counts() == {"cached": 2}
+
+
+def test_resume_rejects_a_different_sweep(tmp_path):
+    path = tmp_path / "sweep.json"
+    store = ResultStore(tmp_path / "cache")
+    run_many(_specs(), store=store, checkpoint=SweepCheckpoint(path))
+    mismatched = SweepCheckpoint(path, resume=True)
+    with pytest.raises(CheckpointMismatch, match="different sweep"):
+        run_many(_specs()[:1], store=store, checkpoint=mismatched)
+
+
+def test_interrupt_saves_checkpoint_and_resume_recomputes_only_cold(tmp_path):
+    """The acceptance path: a sweep killed mid-run relaunches with resume
+    and recomputes only the cells the store does not already hold."""
+    marker = tmp_path / "interrupt.marker"
+    specs = _specs() + [
+        RunSpec.make(
+            "test-interrupt-once", ProtocolPolicy.adaptive_default(),
+            preset="tiny", marker=str(marker), tag="boom",
+        ),
+        RunSpec.make(
+            "migratory-counters", ProtocolPolicy.adaptive_default(),
+            preset="tiny", iterations=7, tag="tail",
+        ),
+    ]
+    path = tmp_path / "sweep.json"
+    store = ResultStore(tmp_path / "cache")
+    with pytest.raises(SweepInterrupted) as excinfo:
+        run_many(specs, store=store, checkpoint=SweepCheckpoint(path))
+    interrupted = excinfo.value
+    # Serial execution: the first two finished, the rest never ran.
+    assert [o is not None for o in interrupted.outcomes] == [
+        True, True, False, False,
+    ]
+    assert interrupted.checkpoint.counts() == {"done": 2, "pending": 2}
+    assert len(interrupted.checkpoint.cold_keys()) == 2
+
+    # Relaunch with resume: the two warm cells come from the store, only
+    # the two cold cells are simulated (the marker now defuses the bomb).
+    resumed = SweepCheckpoint(path, resume=True)
+    second_store = ResultStore(tmp_path / "cache")
+    outcomes = run_many(specs, store=second_store, checkpoint=resumed)
+    assert all(o.ok for o in outcomes)
+    assert second_store.stats.hits == 2
+    assert second_store.stats.misses == 2
+    assert [o.cached for o in outcomes] == [True, True, False, False]
+    assert resumed.complete
+    assert resumed.counts() == {"cached": 2, "done": 2}
+
+
+def test_interrupt_without_checkpoint_propagates(tmp_path):
+    marker = tmp_path / "plain.marker"
+    spec = RunSpec.make(
+        "test-interrupt-once", ProtocolPolicy.adaptive_default(),
+        preset="tiny", marker=str(marker),
+    )
+    with pytest.raises(KeyboardInterrupt):
+        run_many([spec])

@@ -26,9 +26,9 @@ def pinned_code_version(monkeypatch):
 
 
 @contextlib.contextmanager
-def running_server(store, workers=1):
+def running_server(store, workers=1, **server_kwargs):
     """An ExperimentServer on an ephemeral port, loop in a daemon thread."""
-    srv = ExperimentServer(store, workers=workers, port=0)
+    srv = ExperimentServer(store, workers=workers, port=0, **server_kwargs)
     loop = asyncio.new_event_loop()
     started = threading.Event()
 
@@ -103,7 +103,11 @@ def test_serve_end_to_end(server, client):
     events = list(client.stream(job["job"]))
     assert [e["event"] for e in events[:-1]] == ["cell"] * 2
     assert all(e["status"] == "done" for e in events[:-1])
-    assert events[-1] == {"event": "job-done", "job": job["job"], "total": 3}
+    assert [e["seq"] for e in events] == [0, 1, 2]
+    assert events[-1] == {
+        "event": "job-done", "job": job["job"], "total": 3,
+        "seq": 2, "cancelled": False,
+    }
 
     # Resubmission to the same server attaches to the completed in-memory
     # cells — instantly complete, nothing re-simulated.
@@ -172,3 +176,180 @@ def test_serve_rejects_bad_requests(server, client):
     with pytest.raises(ServeError) as excinfo:
         client.result("0" * 64)
     assert excinfo.value.status == 404
+
+
+# ---------------------------------------------------------------------------
+# Resilience: crash requeue, deadlines, cancellation, chaos, client retries
+
+
+import io
+import time
+import urllib.error
+
+import tests.experiments.chaos_workloads  # noqa: F401 - registers test workloads
+
+from repro.experiments.parallel import run_many
+from repro.serve import ServeFaultPlan, ServeUnavailable
+from repro.serve.client import _error_body
+
+
+def _hang_spec(seed, seconds=30.0):
+    return RunSpec.make(
+        "test-hang", ProtocolPolicy.adaptive_default(),
+        preset="tiny", seconds=seconds, seed=seed,
+    )
+
+
+def test_serve_worker_kill_requeues_and_matches_undisturbed_run(tmp_path):
+    """Acceptance: a cell whose worker is killed by ServeFaultPlan is
+    requeued on a rebuilt pool and its result is byte-identical (same
+    fingerprint) to an undisturbed local run."""
+    faults = ServeFaultPlan(seed=11, kill_fraction=1.0, max_kills=1,
+                            kill_delay=0.02)
+    # The first cell sleeps long enough that the 20ms-delayed kill lands
+    # while it is still executing; the rest are ordinary tiny cells.
+    specs = [_hang_spec(seed=9, seconds=0.75)] + tiny_specs()
+    with running_server(ResultStore(tmp_path / "cache"), faults=faults) as srv:
+        client = ServeClient(f"http://127.0.0.1:{srv.port}")
+        job = client.submit_specs(specs)
+        status = client.wait(job["job"], timeout=120)
+        assert status["complete"]
+        assert all(c["status"] == "done" for c in status["cells"])
+        # The kill actually happened and was recovered from.
+        scheduler = client.stats()["scheduler"]
+        assert scheduler["fault_kills"] == 1
+        assert scheduler["worker_crashes"] >= 1
+        assert scheduler["requeues"] >= 1
+        assert scheduler["executor_rebuilds"] >= 1
+        # A requeued cell consumed more than one attempt.
+        assert max(c["attempts"] for c in status["cells"]) >= 2
+        for spec in specs:
+            entry = client.result(spec_key(spec))
+            assert entry["fingerprint"] == result_fingerprint(
+                execute_spec(spec).unwrap()
+            )
+
+
+def test_serve_cell_timeout_requeues_then_fails_with_attempts(tmp_path):
+    with running_server(
+        ResultStore(tmp_path / "cache"),
+        cell_timeout=0.5, max_attempts=2,
+    ) as srv:
+        client = ServeClient(f"http://127.0.0.1:{srv.port}")
+        job = client.submit_specs([_hang_spec(seed=1)])
+        status = client.wait(job["job"], timeout=60)
+        [cell] = status["cells"]
+        assert cell["status"] == "failed"
+        assert cell["attempts"] == 2
+        assert "CellTimeout" in cell["error"]
+        assert "0.5s per-cell deadline" in cell["error"]
+        assert "gave up after 2 attempt(s)" in cell["error"]
+        scheduler = client.stats()["scheduler"]
+        assert scheduler["timeouts"] == 2
+        assert scheduler["requeues"] == 1
+        assert scheduler["executor_rebuilds"] == 2
+        # The daemon survived and still serves healthy cells.
+        healthy = client.submit_specs([tiny_specs()[0]])
+        done = client.wait(healthy["job"], timeout=120)
+        assert done["cells"][0]["status"] == "done"
+
+
+def test_serve_delete_cancels_queued_cells_and_resubmit_revives(tmp_path):
+    with running_server(ResultStore(tmp_path / "cache"), workers=1) as srv:
+        client = ServeClient(f"http://127.0.0.1:{srv.port}")
+        # One slot: the first hang occupies it, the rest sit queued.
+        specs = [_hang_spec(seed=s) for s in (1, 2, 3)]
+        job = client.submit_specs(specs)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if any(c["status"] == "running"
+                   for c in client.job(job["job"])["cells"]):
+                break
+            time.sleep(0.02)
+        cancelled = client.cancel(job["job"])
+        assert cancelled["cancelled"]
+        counts = cancelled["counts"]
+        # The running cell keeps its worker; the queued ones are dropped.
+        assert counts.get("cancelled", 0) == 2
+        by_status = {c["key"]: c for c in cancelled["cells"]}
+        dropped = [c for c in cancelled["cells"] if c["status"] == "cancelled"]
+        assert all("cancelled by client" in c["error"] for c in dropped)
+        assert client.stats()["scheduler"]["cancelled_jobs"] == 1
+        # Cancelling again is idempotent.
+        assert client.cancel(job["job"])["counts"] == counts
+        # A new submission revives a cancelled cell instead of serving
+        # the stale terminal state.
+        revived = client.submit_specs([specs[1]])
+        status = {c["key"]: c["status"] for c in revived["cells"]}
+        assert set(status.values()) <= {"queued", "running"}
+
+
+def test_serve_stream_resumes_across_dropped_frames(tmp_path):
+    faults = ServeFaultPlan(seed=5, drop_frame_fraction=1.0, max_drops=2)
+    with running_server(ResultStore(tmp_path / "cache"), faults=faults) as srv:
+        client = ServeClient(f"http://127.0.0.1:{srv.port}")
+        specs = tiny_specs()
+        job = client.submit_specs(specs)
+        client.wait(job["job"], timeout=120)
+        events = list(client.stream(job["job"]))
+        # Exactly once, in order, despite two dropped connections.
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert events[-1]["event"] == "job-done"
+        assert client.stats()["faults"]["drops"] == 2
+
+
+def test_error_body_prefers_payload_over_status_line():
+    def http_error(body):
+        return urllib.error.HTTPError(
+            "http://x/jobs", 500, "Internal Server Error",
+            {}, io.BytesIO(body),
+        )
+
+    assert _error_body(http_error(b'{"error": "boom"}')) == {"error": "boom"}
+    # Satellite: a non-JSON body (traceback, proxy page) is surfaced
+    # verbatim instead of being collapsed to the reason phrase.
+    assert _error_body(http_error(b"Traceback: stack trace text\n")) == (
+        "Traceback: stack trace text"
+    )
+    assert _error_body(http_error(b"")) == "Internal Server Error"
+
+
+def test_client_reports_unreachable_daemon(tmp_path):
+    client = ServeClient("http://127.0.0.1:1", timeout=0.5, retries=1)
+    with pytest.raises(ServeUnavailable, match="GET .*healthz"):
+        client.healthz()
+
+
+def test_run_many_serve_backend_executes_remotely_and_warms_local_store(
+    tmp_path,
+):
+    specs = tiny_specs()
+    with running_server(ResultStore(tmp_path / "daemon-cache")) as srv:
+        local = ResultStore(tmp_path / "local-cache")
+        outcomes = run_many(
+            specs, store=local, backend="serve",
+            serve_url=f"http://127.0.0.1:{srv.port}",
+        )
+        assert all(o.ok and o.cached for o in outcomes)
+        for spec, outcome in zip(specs, outcomes):
+            assert result_fingerprint(outcome.unwrap()) == result_fingerprint(
+                execute_spec(spec).unwrap()
+            )
+        # Remote results warmed the local store: a second sweep is local.
+        assert local.stats.stores == 2
+        rerun = run_many(specs, store=ResultStore(local.root),
+                         backend="serve", serve_url="http://127.0.0.1:1")
+        assert all(o.ok and o.cached for o in rerun)
+
+
+def test_run_many_serve_backend_falls_back_to_local(capsys):
+    specs = tiny_specs()
+    outcomes = run_many(specs, backend="serve",
+                        serve_url="http://127.0.0.1:1")
+    assert all(o.ok for o in outcomes)
+    assert not any(o.cached for o in outcomes)
+    assert "falling back to local execution" in capsys.readouterr().err
+    for spec, outcome in zip(specs, outcomes):
+        assert result_fingerprint(outcome.unwrap()) == result_fingerprint(
+            execute_spec(spec).unwrap()
+        )

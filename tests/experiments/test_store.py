@@ -235,3 +235,73 @@ def test_execute_spec_matches_cached_execute(tmp_path):
     entry = store.load_entry(spec_key(spec))
     direct = execute_spec(spec).unwrap()
     assert entry["fingerprint"] == result_fingerprint(direct)
+
+
+# -- size-bounded LRU eviction ------------------------------------------
+
+
+def test_prune_evicts_least_recently_fetched_first(tmp_path):
+    import os
+    import time
+
+    specs = sweep_specs()
+    store = ResultStore(tmp_path / "cache")
+    run_many(specs, store=store)
+    paths = [store.entry_path(spec_key(s)) for s in specs]
+    # Stagger recency explicitly: specs[0] oldest, specs[2] newest.
+    now = time.time()
+    for age, path in zip((300, 200, 100), paths):
+        os.utime(path, (now - age, now - age))
+
+    # A verified fetch refreshes recency, so the true LRU is now specs[1].
+    assert store.fetch(specs[0]) is not None
+
+    sizes = [p.stat().st_size for p in paths]
+    budget = sum(sizes) - 1  # one entry over budget -> evict exactly one
+    report = store.prune(max_bytes=budget)
+    assert report["evicted"] == 1
+    assert report["evicted_keys"] == [spec_key(specs[1])]
+    assert not paths[1].exists()
+    assert paths[0].exists() and paths[2].exists()
+    assert report["remaining_entries"] == 2
+    assert report["remaining_bytes"] <= budget
+    assert store.stats.evictions == 1
+    assert store.stats.evicted_bytes >= sizes[1]
+
+    # The evicted cell is recomputed, not served; survivors still hit.
+    assert store.fetch(specs[1]) is None
+    assert store.fetch(specs[2]) is not None
+
+
+def test_prune_counts_artifact_bytes_and_removes_them(tmp_path):
+    import os
+    import time
+
+    specs = sweep_specs()[:2]
+    store = ResultStore(tmp_path / "cache")
+    run_many(specs, store=store)
+    old_key, new_key = spec_key(specs[0]), spec_key(specs[1])
+    store.put_artifact(old_key, "trace.json", "x" * 4096)
+    now = time.time()
+    os.utime(store.entry_path(old_key), (now - 100, now - 100))
+
+    entry_bytes = sum(
+        store.entry_path(k).stat().st_size for k in (old_key, new_key)
+    )
+    # Without artifact accounting this budget would keep both entries.
+    report = store.prune(max_bytes=entry_bytes)
+    assert report["evicted_keys"] == [old_key]
+    assert not (store.artifacts / old_key).exists()
+    assert store.list_artifacts(old_key) == []
+    assert store.stats.evicted_bytes > 4096
+
+
+def test_prune_noop_when_under_budget(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    run_many(sweep_specs(), store=store)
+    report = store.prune(max_bytes=10 ** 9)
+    assert report["evicted"] == 0 and report["evicted_keys"] == []
+    assert report["remaining_entries"] == 3
+    assert store.stats.evictions == 0
+    summary = store.summary()
+    assert summary["evictions"] == 0

@@ -213,3 +213,61 @@ def test_bus_update_protocol(capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "updates_broadcast" in out
+
+
+def test_parse_size_units():
+    from repro.cli import _parse_size
+
+    assert _parse_size("512") == 512
+    assert _parse_size("100K") == 100 * 1024
+    assert _parse_size("64M") == 64 * 1024 ** 2
+    assert _parse_size("2G") == 2 * 1024 ** 3
+    assert _parse_size("1.5g") == int(1.5 * 1024 ** 3)
+    assert _parse_size("64MB") == 64 * 1024 ** 2
+    with pytest.raises(SystemExit, match="bad size"):
+        _parse_size("sixty-four")
+
+
+def test_cache_prune_command(capsys):
+    assert main(["run", "migratory-counters"]) == 0
+    assert main(["run", "producer-consumer"]) == 0
+    capsys.readouterr()
+    # Generous budget: nothing to evict.
+    assert main(["cache", "prune", "--max-bytes", "1G"]) == 0
+    assert "evicted 0" in capsys.readouterr().out
+    # One-byte budget: everything goes, LRU first.
+    assert main(["cache", "prune", "--max-bytes", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "evicted 2 least-recently-fetched entries" in out
+    assert main(["cache", "stats"]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+def test_cache_prune_requires_max_bytes():
+    with pytest.raises(SystemExit, match="--max-bytes"):
+        main(["cache", "prune"])
+
+
+def test_figure5_checkpoint_and_resume(tmp_path, capsys):
+    checkpoint = tmp_path / "sweep.json"
+    args = ["figure5", "--preset", "tiny", "--no-check",
+            "--checkpoint", str(checkpoint)]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint" in out and "'done'" in out
+    doc = json.loads(checkpoint.read_text())
+    assert doc["schema"] == "repro-checkpoint/1"
+    assert all(c["status"] == "done" for c in doc["cells"].values())
+
+    # Relaunching with --resume serves every cell from the warm cache.
+    assert main(args + ["--resume"]) == 0
+    out = capsys.readouterr().out
+    assert "'cached'" in out
+    doc = json.loads(checkpoint.read_text())
+    assert all(c["status"] == "cached" for c in doc["cells"].values())
+
+
+def test_figure5_checkpoint_requires_cache():
+    with pytest.raises(SystemExit, match="result cache"):
+        main(["figure5", "--preset", "tiny", "--no-check", "--no-cache",
+              "--resume"])
