@@ -19,6 +19,13 @@ Race handling (see DESIGN.md Section 3.1):
 * A line received through migration (Mack) may not be replaced until
   home's MIack arrives (``replace_locked``); evictions needing a locked
   frame wait for the MIack.
+
+Hot-path layout: processor accesses and fills work on the cache array's
+struct-of-arrays columns through frame indices and integer state codes
+(``STATE_D``/``STATE_M`` are the top codes, so "writable" is one
+comparison); message handling dispatches through a kind-indexed table
+(``_dispatch[kind.index]``) instead of an if/elif chain.  The state-code
+trick and view objects are documented in :mod:`repro.memory.cache`.
 """
 
 from __future__ import annotations
@@ -26,10 +33,18 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.coherence.checker import CoherenceChecker
-from repro.coherence.messages import CoherenceMessage, MsgKind
+from repro.coherence.messages import NUM_KINDS, CoherenceMessage, MsgKind
 from repro.coherence.transport import Transport
 from repro.core.policy import ProtocolPolicy
-from repro.memory.cache import CacheArray, CacheState
+from repro.memory.cache import (
+    STATE_D,
+    STATE_I,
+    STATE_M,
+    STATE_S,
+    STATES_BY_CODE,
+    CacheArray,
+    CacheState,
+)
 from repro.sim.engine import SimulationError, Simulator
 from repro.stats.counters import Counters
 
@@ -37,7 +52,11 @@ DoneCallback = Callable[[], None]
 
 
 class MSHR:
-    """Miss status holding register for one outstanding block transaction."""
+    """Miss status holding register for one outstanding block transaction.
+
+    ``fill_state`` is an integer state code (see ``STATE_*`` in
+    :mod:`repro.memory.cache`), or None before data arrives.
+    """
 
     __slots__ = (
         "block",
@@ -65,7 +84,7 @@ class MSHR:
         self.is_prefetch = False
         self.data_received = False
         self.version = 0
-        self.fill_state: Optional[CacheState] = None
+        self.fill_state: Optional[int] = None
         self.acks_expected: Optional[int] = None
         self.acks_received = 0
         self.invalidate_on_fill = False
@@ -142,6 +161,19 @@ class CacheController:
         # Miss classification state.
         self._seen: Set[int] = set()
         self._lost_to_inv: Set[int] = set()
+        # Kind-indexed message dispatch table (None = protocol error).
+        table: List[Optional[Callable[[CoherenceMessage], None]]] = [None] * NUM_KINDS
+        table[MsgKind.RP.index] = self._on_rp
+        table[MsgKind.RXP.index] = self._on_rxp
+        table[MsgKind.MACK.index] = self._on_mack
+        table[MsgKind.IACK.index] = self._on_iack
+        table[MsgKind.MIACK.index] = self._on_miack
+        table[MsgKind.INV.index] = self._on_invalidate
+        table[MsgKind.FWD_RR.index] = self._on_fwd_rr
+        table[MsgKind.FWD_RXQ.index] = self._on_fwd_rxq
+        table[MsgKind.MR.index] = self._serve_migratory
+        table[MsgKind.WACK.index] = self._on_wack
+        self._dispatch = table
         transport.register_cache(node, self.handle)
 
     # ------------------------------------------------------------------
@@ -149,17 +181,20 @@ class CacheController:
     # ------------------------------------------------------------------
     def read(self, addr: int, done: DoneCallback) -> None:
         """Perform a processor read; ``done()`` fires when it completes."""
-        block = self.cache.block_of(addr)
+        cache = self.cache
+        block = addr // cache.line_bytes
         mshr = self.mshrs.get(block)
         if mshr is not None:
             mshr.waiters.append(("r", done))
             return
-        line = self.cache.lookup(block)
-        if line is not None:
-            self.cache.touch(line)
+        index = cache.find(block)
+        if index >= 0:
+            cache._tick += 1
+            cache.lru[index] = cache._tick
             self._c_read_hits.inc()
-            self.checker.on_read(self.node, block, line.version)
-            self.last_read_version = line.version
+            version = cache.versions[index]
+            self.checker.on_read(self.node, block, version)
+            self.last_read_version = version
             done()
             return
         self._c_read_misses.inc()
@@ -168,24 +203,31 @@ class CacheController:
 
     def write(self, addr: int, done: DoneCallback) -> None:
         """Perform a processor write; ``done()`` fires when it performs."""
-        block = self.cache.block_of(addr)
+        cache = self.cache
+        block = addr // cache.line_bytes
         mshr = self.mshrs.get(block)
         if mshr is not None:
             mshr.waiters.append(("w", done))
             return
-        line = self.cache.lookup(block)
-        if line is not None and line.state in (CacheState.DIRTY, CacheState.MIGRATING):
-            if line.state is CacheState.MIGRATING:
-                # The adaptive protocol's payoff: the write that would have
-                # been a read-exclusive request happens entirely locally.
-                self._c_migrating_promotions.inc()
-                line.state = CacheState.DIRTY
-            self.cache.touch(line)
-            self._c_write_hits.inc()
-            line.version = self.checker.on_write(self.node, block, line.version)
-            done()
-            return
-        if line is not None:  # Shared: upgrade.
+        index = cache.find(block)
+        if index >= 0:
+            code = cache.states[index]
+            if code >= STATE_D:  # Dirty or Migrating: writable locally.
+                if code == STATE_M:
+                    # The adaptive protocol's payoff: the write that would
+                    # have been a read-exclusive request happens entirely
+                    # locally.
+                    self._c_migrating_promotions.inc()
+                    cache.states[index] = STATE_D
+                cache._tick += 1
+                cache.lru[index] = cache._tick
+                self._c_write_hits.inc()
+                cache.versions[index] = self.checker.on_write(
+                    self.node, block, cache.versions[index]
+                )
+                done()
+                return
+            # Shared: upgrade.
             self._c_write_upgrades.inc()
             self._start_miss(block, is_write=True, is_upgrade=True, done=done)
             return
@@ -203,11 +245,11 @@ class CacheController:
         block = self.cache.block_of(addr)
         if block in self.mshrs:
             return False
-        line = self.cache.lookup(block)
-        if line is not None and line.state in (CacheState.DIRTY, CacheState.MIGRATING):
+        index = self.cache.find(block)
+        if index >= 0 and self.cache.states[index] >= STATE_D:
             return False
         self._c_prefetches_issued.inc()
-        is_upgrade = line is not None
+        is_upgrade = index >= 0
         mshr = MSHR(block, True, is_upgrade, self.sim.now)
         mshr.is_prefetch = True
         self.mshrs[block] = mshr
@@ -263,66 +305,45 @@ class CacheController:
 
     def _ensure_frame(self, block: int) -> bool:
         """Free the frame ``block`` will occupy.  False if blocked on MIack."""
-        victim = self.cache.victim_for(block)
-        if not victim.valid:
+        cache = self.cache
+        index = cache.victim_index(block)
+        code = cache.states[index]
+        if not code:
             return True
-        if victim.replace_locked:
+        if cache.locked[index]:
             return False
-        victim_block = self.cache.block_from(victim.tag, self.cache.set_index(block))
-        if victim.state in (CacheState.DIRTY, CacheState.MIGRATING):
+        victim_block = cache.block_from(
+            cache.tags[index], index // cache.associativity
+        )
+        if code >= STATE_D:  # Dirty or Migrating: write back.
             self._c_writebacks.inc()
             self.wb_buffer[victim_block] = self.wb_buffer.get(victim_block, 0) + 1
-            self._wb_versions[victim_block] = victim.version
+            version = cache.versions[index]
+            self._wb_versions[victim_block] = version
             self.checker.release_writable(self.node, victim_block)
             self.transport.send(
                 CoherenceMessage(
                     src=self.node, dst=self.home_of(victim_block), kind=MsgKind.WB,
                     block=victim_block, requester=self.node,
-                    version=victim.version, src_is_cache=True,
+                    version=version, src_is_cache=True,
                 )
             )
         else:
             self._c_evictions_clean.inc()
-        victim.invalidate()
+        cache.states[index] = STATE_I
+        cache.tags[index] = -1
+        cache.versions[index] = 0
+        cache.locked[index] = 0
         return True
 
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     def handle(self, msg: CoherenceMessage) -> None:
-        kind = msg.kind
-        if kind is MsgKind.RP:
-            self._on_fill(msg, CacheState.SHARED)
-        elif kind is MsgKind.RXP:
-            mshr = self._mshr_for(msg)
-            mshr.acks_expected = msg.n_invals
-            # An RXP from another cache (forwarded Rxq) transfers ownership
-            # behind home's back: hold the line until home's MIack.
-            mshr.miack_needed = msg.miack_needed
-            self._on_fill(msg, CacheState.DIRTY)
-        elif kind is MsgKind.MACK:
-            mshr = self._mshr_for(msg)
-            mshr.miack_needed = msg.miack_needed
-            fill = CacheState.DIRTY if mshr.is_write else CacheState.MIGRATING
-            self._on_fill(msg, fill)
-        elif kind is MsgKind.IACK:
-            mshr = self._mshr_for(msg)
-            mshr.acks_received += 1
-            self._maybe_complete(mshr)
-        elif kind is MsgKind.MIACK:
-            self._on_miack(msg)
-        elif kind is MsgKind.INV:
-            self._on_invalidate(msg)
-        elif kind is MsgKind.FWD_RR:
-            self._serve_forward(msg, exclusive=False)
-        elif kind is MsgKind.FWD_RXQ:
-            self._serve_forward(msg, exclusive=True)
-        elif kind is MsgKind.MR:
-            self._serve_migratory(msg)
-        elif kind is MsgKind.WACK:
-            self._on_wack(msg)
-        else:
+        handler = self._dispatch[msg.kind.index]
+        if handler is None:
             raise SimulationError(f"cache {self.node} got unexpected {msg!r}")
+        handler(msg)
 
     def _mshr_for(self, msg: CoherenceMessage) -> MSHR:
         mshr = self.mshrs.get(msg.block)
@@ -330,68 +351,94 @@ class CacheController:
             raise SimulationError(f"cache {self.node}: no MSHR for {msg!r}")
         return mshr
 
-
     def _send_after_service(self, msg: CoherenceMessage) -> None:
         """Send a response after the tag-check/data-array service delay."""
-        self.sim.schedule(self.service_delay, lambda: self.transport.send(msg))
+        self.sim.schedule(self.service_delay, self.transport.send, msg)
 
     # ------------------------------------------------------------------
     # Fills and completion
     # ------------------------------------------------------------------
-    def _on_fill(self, msg: CoherenceMessage, state: CacheState) -> None:
+    def _on_rp(self, msg: CoherenceMessage) -> None:
+        self._on_fill(msg, STATE_S)
+
+    def _on_rxp(self, msg: CoherenceMessage) -> None:
+        mshr = self._mshr_for(msg)
+        mshr.acks_expected = msg.n_invals
+        # An RXP from another cache (forwarded Rxq) transfers ownership
+        # behind home's back: hold the line until home's MIack.
+        mshr.miack_needed = msg.miack_needed
+        self._on_fill(msg, STATE_D)
+
+    def _on_mack(self, msg: CoherenceMessage) -> None:
+        mshr = self._mshr_for(msg)
+        mshr.miack_needed = msg.miack_needed
+        self._on_fill(msg, STATE_D if mshr.is_write else STATE_M)
+
+    def _on_iack(self, msg: CoherenceMessage) -> None:
+        mshr = self._mshr_for(msg)
+        mshr.acks_received += 1
+        self._maybe_complete(mshr)
+
+    def _on_fill(self, msg: CoherenceMessage, state_code: int) -> None:
         mshr = self._mshr_for(msg)
         mshr.data_received = True
         mshr.version = msg.version
-        mshr.fill_state = state
+        mshr.fill_state = state_code
         self._maybe_complete(mshr)
 
     def _maybe_complete(self, mshr: MSHR) -> None:
         if not mshr.data_received:
             return
-        if mshr.is_write:
-            if mshr.fill_state is CacheState.DIRTY and mshr.acks_expected is not None:
-                if mshr.acks_received < mshr.acks_expected:
-                    return
-            elif mshr.fill_state is CacheState.DIRTY and mshr.acks_expected is None:
-                # Data came from an owner (forwarded Rxq or migration):
-                # no invalidation acks to collect.
-                pass
+        if (
+            mshr.is_write
+            and mshr.fill_state == STATE_D
+            and mshr.acks_expected is not None
+            and mshr.acks_received < mshr.acks_expected
+        ):
+            # Still collecting invalidation acks.  (Data from an owner —
+            # forwarded Rxq or migration — arrives with acks_expected None
+            # and completes immediately.)
+            return
         self._retire(mshr)
 
     def _retire(self, mshr: MSHR) -> None:
         block = mshr.block
+        cache = self.cache
         # An invalidation observed while the fill was in flight only voids
         # a *shared* fill: a fill that grants ownership (Rxp/Mack, or a
         # forwarded exclusive reply) was serialized at home after the
         # invalidating write, so it is fresh — and home has recorded us as
         # owner, so we must install it.
-        consume_once = (
-            mshr.invalidate_on_fill and mshr.fill_state is CacheState.SHARED
-        )
+        consume_once = mshr.invalidate_on_fill and mshr.fill_state == STATE_S
         if not consume_once:
-            line = self.cache.lookup(block)
-            if line is None:
+            fill_code = mshr.fill_state
+            index = cache.find(block)
+            if index < 0:
                 if not self._ensure_frame(block):
                     # Victim frame awaits its MIack; retry when it arrives.
                     self._miack_waiters.append(lambda: self._retire(mshr))
                     return
-                line = self.cache.install(block, mshr.fill_state, mshr.version)
+                index = cache.install_index(block, fill_code, mshr.version)
             else:
                 # Upgrade: promote the (still valid) Shared copy in place.
-                line.state = mshr.fill_state
-                line.version = mshr.version
-                self.cache.touch(line)
-            if mshr.fill_state in (CacheState.DIRTY, CacheState.MIGRATING):
+                cache.states[index] = fill_code
+                cache.versions[index] = mshr.version
+                cache._tick += 1
+                cache.lru[index] = cache._tick
+            if fill_code >= STATE_D:
                 self.checker.acquire_writable(self.node, block)
             if mshr.miack_needed and not mshr.miack_received:
-                line.replace_locked = True
+                cache.locked[index] = 1
             if mshr.is_prefetch:
                 pass  # ownership acquired, but no access performed yet
             elif mshr.is_write:
-                line.version = self.checker.on_write(self.node, block, line.version)
+                cache.versions[index] = self.checker.on_write(
+                    self.node, block, cache.versions[index]
+                )
             else:
-                self.checker.on_read(self.node, block, line.version)
-                self.last_read_version = line.version
+                version = cache.versions[index]
+                self.checker.on_read(self.node, block, version)
+                self.last_read_version = version
         else:
             # Consume-once fill: the value is delivered to the processor but
             # an invalidation arrived while the fill was in flight.
@@ -403,7 +450,7 @@ class CacheController:
             self.tracer.close_span(
                 mshr.trace,
                 self.sim.now,
-                None if consume_once else mshr.fill_state.name,
+                None if consume_once else STATES_BY_CODE[mshr.fill_state].name,
             )
         del self.mshrs[block]
 
@@ -411,8 +458,9 @@ class CacheController:
         # deferred external forwards (which see the just-installed line).
         waiters = mshr.waiters
         deferred = mshr.deferred
-        for index, (op, callback) in enumerate(waiters):
-            if index == 0 and not mshr.is_prefetch:
+        line_bytes = cache.line_bytes
+        for waiter_index, (op, callback) in enumerate(waiters):
+            if waiter_index == 0 and not mshr.is_prefetch:
                 # The operation that started the miss performed as part of
                 # the fill above (or consumed the one-shot fill value).
                 callback()
@@ -421,9 +469,9 @@ class CacheController:
             # which performs no access itself) re-execute against the
             # freshly installed line.
             if op == "r":
-                self.read(block * self.cache.line_bytes, callback)
+                self.read(block * line_bytes, callback)
             else:
-                self.write(block * self.cache.line_bytes, callback)
+                self.write(block * line_bytes, callback)
         for fwd in deferred:
             # The MSHR owned this forward; handling may re-defer it onto a
             # new MSHR (re-retaining it), otherwise recycle it.
@@ -437,20 +485,26 @@ class CacheController:
     # ------------------------------------------------------------------
     def _on_invalidate(self, msg: CoherenceMessage) -> None:
         block = msg.block
+        cache = self.cache
         mshr = self.mshrs.get(block)
-        line = self.cache.lookup(block)
-        if line is not None and line.state is CacheState.SHARED:
-            line.invalidate()
+        index = cache.find(block)
+        if index >= 0:
+            code = cache.states[index]
+            if code != STATE_S:
+                raise SimulationError(
+                    f"cache {self.node}: Inv for {STATES_BY_CODE[code]} line, "
+                    f"block {block}"
+                )
+            cache.states[index] = STATE_I
+            cache.tags[index] = -1
+            cache.versions[index] = 0
+            cache.locked[index] = 0
             self._lost_to_inv.add(block)
             if self.tracer is not None and msg.trace:
                 self.tracer.transition(
                     msg.trace, self.sim.now, f"cache{self.node}",
                     "SHARED", "INVALID",
                 )
-        elif line is not None:
-            raise SimulationError(
-                f"cache {self.node}: Inv for {line.state} line, block {block}"
-            )
         if mshr is not None and not mshr.is_write:
             # The pending read was ordered before the invalidating write;
             # deliver its value once, but do not cache it.
@@ -466,8 +520,15 @@ class CacheController:
             )
         )
 
+    def _on_fwd_rr(self, msg: CoherenceMessage) -> None:
+        self._serve_forward(msg, exclusive=False)
+
+    def _on_fwd_rxq(self, msg: CoherenceMessage) -> None:
+        self._serve_forward(msg, exclusive=True)
+
     def _serve_forward(self, msg: CoherenceMessage, *, exclusive: bool) -> None:
         block = msg.block
+        cache = self.cache
         # A writeback in flight means this forward targets the ownership we
         # already gave up: NAK before considering any new MSHR we may have
         # opened for the same block (deferring would deadlock — our own
@@ -480,32 +541,35 @@ class CacheController:
             msg.retained = True
             mshr.deferred.append(msg)
             return
-        line = self.cache.lookup(block)
-        if line is None:
+        index = cache.find(block)
+        if index < 0:
             self._nak(msg)
             return
-        if line.state is not CacheState.DIRTY:
+        code = cache.states[index]
+        if code != STATE_D:
             raise SimulationError(
-                f"cache {self.node}: forward for {line.state} line, block {block}"
+                f"cache {self.node}: forward for {STATES_BY_CODE[code]} line, "
+                f"block {block}"
             )
         if (
             self.faults is not None
-            and not line.replace_locked
+            and not cache.locked[index]
             and self.faults.force_nak()
         ):
-            self._fault_evict_and_nak(block, line, msg)
+            self._fault_evict_and_nak(block, cache.view(index), msg)
             return
         if self.tracer is not None and msg.trace:
             self.tracer.transition(
                 msg.trace, self.sim.now, f"cache{self.node}",
                 "DIRTY", "INVALID" if exclusive else "SHARED",
             )
+        version = cache.versions[index]
         if exclusive:
             self._send_after_service(
                 CoherenceMessage(
                     src=self.node, dst=msg.requester, kind=MsgKind.RXP,
                     block=block, requester=msg.requester,
-                    version=line.version, n_invals=0, src_is_cache=True,
+                    version=version, n_invals=0, src_is_cache=True,
                     trace=msg.trace,
                 )
             )
@@ -517,14 +581,17 @@ class CacheController:
                 )
             )
             self.checker.release_writable(self.node, block)
-            line.invalidate()
+            cache.states[index] = STATE_I
+            cache.tags[index] = -1
+            cache.versions[index] = 0
+            cache.locked[index] = 0
             self._lost_to_inv.add(block)
         else:
             self._send_after_service(
                 CoherenceMessage(
                     src=self.node, dst=msg.requester, kind=MsgKind.RP,
                     block=block, requester=msg.requester,
-                    version=line.version, src_is_cache=True,
+                    version=version, src_is_cache=True,
                     trace=msg.trace,
                 )
             )
@@ -532,15 +599,16 @@ class CacheController:
                 CoherenceMessage(
                     src=self.node, dst=self.home_of(block), kind=MsgKind.SW,
                     block=block, requester=msg.requester,
-                    version=line.version, src_is_cache=True,
+                    version=version, src_is_cache=True,
                     trace=msg.trace,
                 )
             )
             self.checker.release_writable(self.node, block)
-            line.state = CacheState.SHARED
+            cache.states[index] = STATE_S
 
     def _serve_migratory(self, msg: CoherenceMessage) -> None:
         block = msg.block
+        cache = self.cache
         if self.wb_buffer.get(block, 0) > 0:
             self._nak(msg)
             return
@@ -549,39 +617,37 @@ class CacheController:
             msg.retained = True
             mshr.deferred.append(msg)
             return
-        line = self.cache.lookup(block)
-        if line is None:
+        index = cache.find(block)
+        if index < 0:
             self._nak(msg)
             return
+        code = cache.states[index]
         if (
             self.faults is not None
-            and line.state in (CacheState.DIRTY, CacheState.MIGRATING)
-            and not line.replace_locked
+            and code >= STATE_D
+            and not cache.locked[index]
             and self.faults.force_nak()
         ):
-            self._fault_evict_and_nak(block, line, msg)
+            self._fault_evict_and_nak(block, cache.view(index), msg)
             return
-        if (
-            line.state is CacheState.MIGRATING
-            and not msg.for_write
-            and self.policy.nomig_enabled
-        ):
+        if code == STATE_M and not msg.for_write and self.policy.nomig_enabled:
             # NoMig (Section 3.4): this processor never wrote the block —
             # the sharing is read-only, so refuse migration, answer like an
             # ordinary dirty read, and revert the block at home.
-            line.state = CacheState.SHARED
-            line.replace_locked = False
+            cache.states[index] = STATE_S
+            cache.locked[index] = 0
             self.checker.release_writable(self.node, block)
             if self.tracer is not None and msg.trace:
                 self.tracer.transition(
                     msg.trace, self.sim.now, f"cache{self.node}",
                     "MIGRATING", "SHARED",
                 )
+            version = cache.versions[index]
             self._send_after_service(
                 CoherenceMessage(
                     src=self.node, dst=msg.requester, kind=MsgKind.RP,
                     block=block, requester=msg.requester,
-                    version=line.version, src_is_cache=True,
+                    version=version, src_is_cache=True,
                     trace=msg.trace,
                 )
             )
@@ -589,26 +655,28 @@ class CacheController:
                 CoherenceMessage(
                     src=self.node, dst=self.home_of(block), kind=MsgKind.NOMIG,
                     block=block, requester=msg.requester,
-                    version=line.version, src_is_cache=True,
+                    version=version, src_is_cache=True,
                     trace=msg.trace,
                 )
             )
             return
-        if line.state not in (CacheState.DIRTY, CacheState.MIGRATING):
+        if code < STATE_D:
             raise SimulationError(
-                f"cache {self.node}: Mr for {line.state} line, block {block}"
+                f"cache {self.node}: Mr for {STATES_BY_CODE[code]} line, "
+                f"block {block}"
             )
         # Give up ownership: data to the requester, dirty-transfer to home.
         if self.tracer is not None and msg.trace:
             self.tracer.transition(
                 msg.trace, self.sim.now, f"cache{self.node}",
-                line.state.name, "INVALID",
+                STATES_BY_CODE[code].name, "INVALID",
             )
+        version = cache.versions[index]
         self._send_after_service(
             CoherenceMessage(
                 src=self.node, dst=msg.requester, kind=MsgKind.MACK,
                 block=block, requester=msg.requester,
-                version=line.version, miack_needed=True, src_is_cache=True,
+                version=version, miack_needed=True, src_is_cache=True,
                 trace=msg.trace,
             )
         )
@@ -620,7 +688,10 @@ class CacheController:
             )
         )
         self.checker.release_writable(self.node, block)
-        line.invalidate()
+        cache.states[index] = STATE_I
+        cache.tags[index] = -1
+        cache.versions[index] = 0
+        cache.locked[index] = 0
         self._lost_to_inv.add(block)
 
     def _fault_evict_and_nak(
@@ -667,9 +738,9 @@ class CacheController:
         mshr = self.mshrs.get(block)
         if mshr is not None:
             mshr.miack_received = True
-        line = self.cache.lookup(block)
-        if line is not None:
-            line.replace_locked = False
+        index = self.cache.find(block)
+        if index >= 0:
+            self.cache.locked[index] = 0
         waiters, self._miack_waiters = self._miack_waiters, []
         for retry in waiters:
             retry()

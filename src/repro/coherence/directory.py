@@ -20,43 +20,176 @@ read-exclusive flow does not hold the entry busy.
 A forward that reaches a cache which has already written the block back
 is NAKed; the NAK re-queues the transaction, which is retried once the
 writeback (guaranteed to be in flight) arrives.
+
+Storage layout
+--------------
+
+Per-block records are struct-of-arrays: a ``block -> row`` index dict
+plus dense per-row columns (state codes in a ``bytearray``, owner /
+version / last-writer in ``array('q')``, busy / awaiting-writeback flags
+in ``bytearray``s).  Sharer sets stay Python ``set`` objects — their
+iteration order is part of the deterministic invalidation send order —
+and pending queues are allocated lazily (most blocks never queue).
+:class:`DirectoryEntry` is a thin *view* over one row, kept for cold
+paths (tests, diagnostics, time-series sampling); handlers work on row
+indices and integer codes, dispatched through a kind-indexed table.
+
+The last-writer pointer (the paper's LW with its valid bit, see
+:class:`repro.core.detection.LastWriterTracker`) is inlined as the
+``_lw`` column: -1 encodes the reset valid bit, updates happen at every
+transition to Dirty-Remote, and the pointer is invalidated whenever the
+sharing list grows beyond two.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Set, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.coherence.messages import CoherenceMessage, MsgKind
-from repro.coherence.states import HOME_VALID_STATES, DirState
+from repro.coherence.messages import NUM_KINDS, CoherenceMessage, MsgKind
+from repro.coherence.states import (
+    DIR_DR,
+    DIR_MD,
+    DIR_MU,
+    DIR_SR,
+    DIR_STATES_BY_CODE,
+    DIR_U,
+    HOME_VALID_CODES,
+    DirState,
+)
 from repro.coherence.transport import Transport
-from repro.core.detection import LastWriterTracker, should_nominate
+from repro.core.detection import should_nominate
 from repro.core.policy import ProtocolPolicy
 from repro.memory.dram import MemoryModule
 from repro.sim.engine import SimulationError, Simulator
 from repro.stats.counters import Counters
 
 
-@dataclass
 class DirectoryEntry:
-    """Directory state for one memory block."""
+    """A view over one directory row.
 
-    state: DirState = DirState.UNCACHED
-    sharers: Set[int] = field(default_factory=set)
-    owner: Optional[int] = None
-    lw: LastWriterTracker = field(default_factory=LastWriterTracker)
-    #: Home memory's data version (valid in HOME_VALID_STATES).
-    version: int = 0
-    #: A forwarded transaction is in flight.
-    busy: bool = False
-    #: The forward was NAKed; waiting for the owner's writeback to land.
-    awaiting_wb: bool = False
-    #: The transaction being serviced by the in-flight forward, plus
-    #: whether its completion demotes the block to Dirty-Remote
-    #: (Figure 4 dashed-arrow heuristic).
-    inflight: Optional[Tuple[CoherenceMessage, bool]] = None
-    pending: Deque[CoherenceMessage] = field(default_factory=deque)
+    Reads and writes pass through to the owning controller's columns, so
+    a view is always current; one stable view exists per row.  Views are
+    for cold paths (tests, dumps, sampling) — the protocol handlers use
+    row indices directly.
+    """
+
+    __slots__ = ("_dir", "_row")
+
+    def __init__(self, directory: "DirectoryController", row: int) -> None:
+        self._dir = directory
+        self._row = row
+
+    @property
+    def state(self) -> DirState:
+        return DIR_STATES_BY_CODE[self._dir._states[self._row]]
+
+    @state.setter
+    def state(self, value: DirState) -> None:
+        self._dir._states[self._row] = value.code
+
+    @property
+    def sharers(self) -> Set[int]:
+        return self._dir._sharers[self._row]
+
+    @sharers.setter
+    def sharers(self, value: Set[int]) -> None:
+        self._dir._sharers[self._row] = value
+
+    @property
+    def owner(self) -> Optional[int]:
+        owner = self._dir._owners[self._row]
+        return None if owner < 0 else owner
+
+    @owner.setter
+    def owner(self, value: Optional[int]) -> None:
+        self._dir._owners[self._row] = -1 if value is None else value
+
+    @property
+    def version(self) -> int:
+        return self._dir._versions[self._row]
+
+    @version.setter
+    def version(self, value: int) -> None:
+        self._dir._versions[self._row] = value
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._dir._busy[self._row])
+
+    @busy.setter
+    def busy(self, value: bool) -> None:
+        self._dir._busy[self._row] = 1 if value else 0
+
+    @property
+    def awaiting_wb(self) -> bool:
+        return bool(self._dir._awaiting[self._row])
+
+    @awaiting_wb.setter
+    def awaiting_wb(self, value: bool) -> None:
+        self._dir._awaiting[self._row] = 1 if value else 0
+
+    @property
+    def inflight(self) -> Optional[Tuple[CoherenceMessage, bool]]:
+        return self._dir._inflight[self._row]
+
+    @inflight.setter
+    def inflight(self, value: Optional[Tuple[CoherenceMessage, bool]]) -> None:
+        self._dir._inflight[self._row] = value
+
+    @property
+    def pending(self) -> Deque[CoherenceMessage]:
+        return self._dir._pending_of(self._row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectoryEntry(state={self.state}, sharers={sorted(self.sharers)}, "
+            f"owner={self.owner}, busy={self.busy})"
+        )
+
+
+class _EntriesView:
+    """Read-only dict-like view of a controller's directory entries.
+
+    Supports the mapping surface external consumers use (``[block]``,
+    ``.get``, ``in``, iteration, ``.keys/.values/.items``) while the
+    underlying storage stays struct-of-arrays.
+    """
+
+    __slots__ = ("_dir",)
+
+    def __init__(self, directory: "DirectoryController") -> None:
+        self._dir = directory
+
+    def __getitem__(self, block: int) -> DirectoryEntry:
+        return self._dir._view(self._dir._index[block])
+
+    def get(self, block: int, default=None):
+        row = self._dir._index.get(block)
+        return default if row is None else self._dir._view(row)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._dir._index
+
+    def __len__(self) -> int:
+        return len(self._dir._index)
+
+    def __iter__(self):
+        return iter(self._dir._blocks)
+
+    def keys(self):
+        return iter(self._dir._blocks)
+
+    def values(self):
+        view = self._dir._view
+        return (view(row) for row in range(len(self._dir._blocks)))
+
+    def items(self):
+        view = self._dir._view
+        return (
+            (block, view(row)) for row, block in enumerate(self._dir._blocks)
+        )
 
 
 class DirectoryController:
@@ -100,52 +233,116 @@ class DirectoryController:
         #: Optional :class:`~repro.obs.tracer.TransactionTracer`; records
         #: the directory-state transitions taken by traced transactions.
         self.tracer = tracer
-        self.entries: Dict[int, DirectoryEntry] = {}
+        # Struct-of-arrays storage, one row per block ever referenced.
+        self._index: Dict[int, int] = {}
+        self._blocks: List[int] = []
+        self._states = bytearray()
+        self._owners = array("q")
+        self._versions = array("q")
+        #: Last-writer pointer; -1 = valid bit reset.
+        self._lw = array("q")
+        self._busy = bytearray()
+        self._awaiting = bytearray()
+        self._sharers: List[Set[int]] = []
+        self._inflight: List[Optional[Tuple[CoherenceMessage, bool]]] = []
+        self._pending: List[Optional[Deque[CoherenceMessage]]] = []
+        self._row_views: List[Optional[DirectoryEntry]] = []
+        # Kind-indexed message dispatch table (None = protocol error).
+        table: List[Optional[Callable[[int, CoherenceMessage], None]]]
+        table = [None] * NUM_KINDS
+        table[MsgKind.RR.index] = self._on_rr
+        table[MsgKind.RXQ.index] = self._on_rxq
+        table[MsgKind.SW.index] = self._on_sharing_writeback
+        table[MsgKind.XFER.index] = self._on_ownership_transfer
+        table[MsgKind.DT.index] = self._on_dirty_transfer
+        table[MsgKind.NOMIG.index] = self._on_nomig
+        table[MsgKind.NAK.index] = self._on_nak
+        table[MsgKind.WB.index] = self._on_writeback
+        self._dispatch = table
         transport.register_directory(node, self.handle)
 
-    def _set_state(self, e: DirectoryEntry, msg: CoherenceMessage, new: DirState) -> None:
-        """Transition ``e`` to ``new``, logging it on the transaction's span."""
+    # ------------------------------------------------------------------
+    # Row management and views
+    # ------------------------------------------------------------------
+    def _row(self, block: int) -> int:
+        """Row index for ``block``, creating an Uncached row on first touch."""
+        row = self._index.get(block)
+        if row is None:
+            row = len(self._blocks)
+            self._index[block] = row
+            self._blocks.append(block)
+            self._states.append(DIR_U)
+            self._owners.append(-1)
+            self._versions.append(0)
+            self._lw.append(-1)
+            self._busy.append(0)
+            self._awaiting.append(0)
+            self._sharers.append(set())
+            self._inflight.append(None)
+            self._pending.append(None)
+            self._row_views.append(None)
+        return row
+
+    def _view(self, row: int) -> DirectoryEntry:
+        view = self._row_views[row]
+        if view is None:
+            self._row_views[row] = view = DirectoryEntry(self, row)
+        return view
+
+    def _pending_of(self, row: int) -> Deque[CoherenceMessage]:
+        queue = self._pending[row]
+        if queue is None:
+            self._pending[row] = queue = deque()
+        return queue
+
+    def entry(self, block: int) -> DirectoryEntry:
+        return self._view(self._row(block))
+
+    @property
+    def entries(self) -> _EntriesView:
+        """Dict-like view of per-block directory entries."""
+        return _EntriesView(self)
+
+    def _set_state(self, row: int, msg: CoherenceMessage, new: int) -> None:
+        """Transition ``row`` to code ``new``, logging it on the span."""
         if self.tracer is not None and msg.trace:
             self.tracer.transition(
                 msg.trace, self.sim.now, f"dir{self.node}",
-                e.state.name, new.name,
+                DIR_STATES_BY_CODE[self._states[row]].name,
+                DIR_STATES_BY_CODE[new].name,
             )
-        e.state = new
-
-    def entry(self, block: int) -> DirectoryEntry:
-        e = self.entries.get(block)
-        if e is None:
-            e = DirectoryEntry()
-            self.entries[block] = e
-        return e
+        self._states[row] = new
 
     def introspect(self) -> list:
         """Transient directory entries (busy / awaiting / queued), for dumps."""
         out = []
-        for block, e in sorted(self.entries.items()):
-            if not (e.busy or e.awaiting_wb or e.pending):
+        for block in sorted(self._blocks):
+            row = self._index[block]
+            pending = self._pending[row]
+            if not (self._busy[row] or self._awaiting[row] or pending):
                 continue
             inflight = None
-            if e.inflight is not None:
-                msg, demote = e.inflight
+            if self._inflight[row] is not None:
+                msg, demote = self._inflight[row]
                 inflight = {
                     "kind": msg.kind.value,
                     "requester": msg.requester,
                     "demote": demote,
                 }
+            owner = self._owners[row]
             out.append(
                 {
                     "home": self.node,
                     "block": block,
-                    "state": e.state.name,
-                    "owner": e.owner,
-                    "sharers": sorted(e.sharers),
-                    "busy": e.busy,
-                    "awaiting_wb": e.awaiting_wb,
+                    "state": DIR_STATES_BY_CODE[self._states[row]].name,
+                    "owner": None if owner < 0 else owner,
+                    "sharers": sorted(self._sharers[row]),
+                    "busy": bool(self._busy[row]),
+                    "awaiting_wb": bool(self._awaiting[row]),
                     "inflight": inflight,
                     "pending": [
                         {"kind": m.kind.value, "requester": m.requester}
-                        for m in e.pending
+                        for m in (pending or ())
                     ],
                 }
             )
@@ -155,126 +352,122 @@ class DirectoryController:
     # Message dispatch
     # ------------------------------------------------------------------
     def handle(self, msg: CoherenceMessage) -> None:
-        e = self.entry(msg.block)
-        kind = msg.kind
-        if kind is MsgKind.RR:
-            self._c_rr_received.inc()
-            if e.busy:
-                msg.retained = True
-                e.pending.append(msg)
-            else:
-                self._process(e, msg)
-        elif kind is MsgKind.RXQ:
-            self._c_rxq_received.inc()
-            if e.busy:
-                msg.retained = True
-                e.pending.append(msg)
-            else:
-                self._process(e, msg)
-        elif kind is MsgKind.SW:
-            self._on_sharing_writeback(e, msg)
-        elif kind is MsgKind.XFER:
-            self._on_ownership_transfer(e, msg)
-        elif kind is MsgKind.DT:
-            self._on_dirty_transfer(e, msg)
-        elif kind is MsgKind.NOMIG:
-            self._on_nomig(e, msg)
-        elif kind is MsgKind.NAK:
-            self._on_nak(e, msg)
-        elif kind is MsgKind.WB:
-            self._on_writeback(e, msg)
-        else:
+        handler = self._dispatch[msg.kind.index]
+        if handler is None:
             raise SimulationError(f"directory {self.node} got unexpected {msg!r}")
+        handler(self._row(msg.block), msg)
+
+    def _on_rr(self, row: int, msg: CoherenceMessage) -> None:
+        self._c_rr_received.inc()
+        if self._busy[row]:
+            msg.retained = True
+            self._pending_of(row).append(msg)
+        else:
+            self._process_read(row, msg)
+
+    def _on_rxq(self, row: int, msg: CoherenceMessage) -> None:
+        self._c_rxq_received.inc()
+        if self._busy[row]:
+            msg.retained = True
+            self._pending_of(row).append(msg)
+        else:
+            self._process_read_exclusive(row, msg)
 
     # ------------------------------------------------------------------
     # Request processing (entry not busy)
     # ------------------------------------------------------------------
-    def _process(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _process(self, row: int, msg: CoherenceMessage) -> None:
         if msg.kind is MsgKind.RR:
-            self._process_read(e, msg)
+            self._process_read(row, msg)
         elif msg.kind is MsgKind.RXQ:
-            self._process_read_exclusive(e, msg)
+            self._process_read_exclusive(row, msg)
         else:  # pragma: no cover - queue only ever holds RR/RXQ
             raise SimulationError(f"unexpected queued message {msg!r}")
 
-    def _process_read(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _process_read(self, row: int, msg: CoherenceMessage) -> None:
         i = msg.requester
         block = msg.block
         if self.profiler is not None:
             self.profiler.on_read(block, i)
-        if e.state in (DirState.UNCACHED, DirState.SHARED_REMOTE):
+        st = self._states[row]
+        if st <= DIR_SR:  # Uncached or Shared-Remote
             done = self.memory.access(self.sim.now)
-            self._set_state(e, msg, DirState.SHARED_REMOTE)
-            e.sharers.add(i)
-            e.lw.note_sharer_count(len(e.sharers))
+            self._set_state(row, msg, DIR_SR)
+            sharers = self._sharers[row]
+            sharers.add(i)
+            if len(sharers) > 2:
+                self._lw[row] = -1  # LW valid bit reset (paper Figure 4)
             self._send_at(
                 done,
                 CoherenceMessage(
                     src=self.node, dst=i, kind=MsgKind.RP,
-                    block=block, requester=i, version=e.version,
+                    block=block, requester=i, version=self._versions[row],
                     src_is_cache=False, trace=msg.trace,
                 ),
             )
-        elif e.state is DirState.MIGRATORY_UNCACHED:
+        elif st == DIR_MU:
             # Adaptive: serve the read with ownership directly from memory;
             # the requester installs the line in Migrating state.  The
             # directory is updated before the reply leaves, so no MIack
             # round is needed.
             done = self.memory.access(self.sim.now)
-            self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
-            e.owner = i
-            e.sharers = set()
+            self._set_state(row, msg, DIR_MD)
+            self._owners[row] = i
+            self._sharers[row] = set()
             self._send_at(
                 done,
                 CoherenceMessage(
                     src=self.node, dst=i, kind=MsgKind.MACK,
-                    block=block, requester=i, version=e.version,
+                    block=block, requester=i, version=self._versions[row],
                     miack_needed=False, src_is_cache=False, trace=msg.trace,
                 ),
             )
-        elif e.state is DirState.DIRTY_REMOTE:
-            if e.owner == i:
-                self._wait_for_writeback(e, msg)
+        elif st == DIR_DR:
+            if self._owners[row] == i:
+                self._wait_for_writeback(row, msg)
             else:
-                self._forward(e, msg, MsgKind.FWD_RR, demote=False)
-        elif e.state is DirState.MIGRATORY_DIRTY:
-            if e.owner == i:
-                self._wait_for_writeback(e, msg)
+                self._forward(row, msg, MsgKind.FWD_RR, demote=False)
+        elif st == DIR_MD:
+            if self._owners[row] == i:
+                self._wait_for_writeback(row, msg)
             else:
                 self._c_migratory_reads.inc()
-                self._forward(e, msg, MsgKind.MR, demote=False, for_write=False)
+                self._forward(row, msg, MsgKind.MR, demote=False, for_write=False)
         else:  # pragma: no cover - exhaustive
-            raise SimulationError(f"bad state {e.state} for {msg!r}")
+            raise SimulationError(f"bad state {DIR_STATES_BY_CODE[st]} for {msg!r}")
 
-    def _process_read_exclusive(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _process_read_exclusive(self, row: int, msg: CoherenceMessage) -> None:
         i = msg.requester
         block = msg.block
-        if e.state is DirState.UNCACHED:
+        st = self._states[row]
+        if st == DIR_U:
             done = self.memory.access(self.sim.now)
-            self._set_state(e, msg, DirState.DIRTY_REMOTE)
-            e.owner = i
-            e.sharers = set()
-            e.lw.record_write(i)
+            self._set_state(row, msg, DIR_DR)
+            self._owners[row] = i
+            self._sharers[row] = set()
+            self._lw[row] = i
             self._record_inval_count(0, block, i)
-            self._send_rxp(done, i, block, n_invals=0, version=e.version,
-                           trace=msg.trace)
-        elif e.state is DirState.SHARED_REMOTE:
-            others = e.sharers - {i}
+            self._send_rxp(done, i, block, n_invals=0,
+                           version=self._versions[row], trace=msg.trace)
+        elif st == DIR_SR:
+            sharers = self._sharers[row]
+            others = sharers - {i}
+            lw = self._lw[row]
             nominate = self.policy.adaptive and should_nominate(
-                len(e.sharers), i, e.lw.value
+                len(sharers), i, None if lw < 0 else lw
             )
             done = self.memory.access(self.sim.now)
             if nominate:
                 self._c_nominations.inc()
-                self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
+                self._set_state(row, msg, DIR_MD)
             else:
-                self._set_state(e, msg, DirState.DIRTY_REMOTE)
-            e.owner = i
-            e.sharers = set()
-            e.lw.record_write(i)
+                self._set_state(row, msg, DIR_DR)
+            self._owners[row] = i
+            self._sharers[row] = set()
+            self._lw[row] = i
             self._record_inval_count(len(others), block, i)
-            self._send_rxp(done, i, block, n_invals=len(others), version=e.version,
-                           trace=msg.trace)
+            self._send_rxp(done, i, block, n_invals=len(others),
+                           version=self._versions[row], trace=msg.trace)
             for sharer in others:
                 self._c_invalidations_sent.inc()
                 self._send_at(
@@ -285,17 +478,17 @@ class DirectoryController:
                         trace=msg.trace,
                     ),
                 )
-        elif e.state is DirState.DIRTY_REMOTE:
-            if e.owner == i:
-                self._wait_for_writeback(e, msg)
+        elif st == DIR_DR:
+            if self._owners[row] == i:
+                self._wait_for_writeback(row, msg)
             else:
                 # The previous owner's copy is displaced: Gupta-Weber count
                 # this as a single invalidation.
                 self._record_inval_count(1, block, i)
-                self._forward(e, msg, MsgKind.FWD_RXQ, demote=False)
-        elif e.state is DirState.MIGRATORY_DIRTY:
-            if e.owner == i:
-                self._wait_for_writeback(e, msg)
+                self._forward(row, msg, MsgKind.FWD_RXQ, demote=False)
+        elif st == DIR_MD:
+            if self._owners[row] == i:
+                self._wait_for_writeback(row, msg)
             else:
                 # First access by the new processor is a write (paper §3.4):
                 # default policy keeps the block migratory and transfers
@@ -304,36 +497,36 @@ class DirectoryController:
                 if demote:
                     self._c_rxq_demotions.inc()
                 self._c_migratory_reads.inc()
-                self._forward(e, msg, MsgKind.MR, demote=demote, for_write=True)
-        elif e.state is DirState.MIGRATORY_UNCACHED:
+                self._forward(row, msg, MsgKind.MR, demote=demote, for_write=True)
+        elif st == DIR_MU:
             done = self.memory.access(self.sim.now)
             if self.policy.rxq_reverts_to_ordinary:
                 self._c_rxq_demotions.inc()
-                self._set_state(e, msg, DirState.DIRTY_REMOTE)
-                e.lw.record_write(i)
+                self._set_state(row, msg, DIR_DR)
+                self._lw[row] = i
             else:
-                self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
-            e.owner = i
-            e.sharers = set()
-            self._send_rxp(done, i, block, n_invals=0, version=e.version,
-                           trace=msg.trace)
+                self._set_state(row, msg, DIR_MD)
+            self._owners[row] = i
+            self._sharers[row] = set()
+            self._send_rxp(done, i, block, n_invals=0,
+                           version=self._versions[row], trace=msg.trace)
         else:  # pragma: no cover - exhaustive
-            raise SimulationError(f"bad state {e.state} for {msg!r}")
+            raise SimulationError(f"bad state {DIR_STATES_BY_CODE[st]} for {msg!r}")
 
     # ------------------------------------------------------------------
     # Owner responses
     # ------------------------------------------------------------------
-    def _on_sharing_writeback(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _on_sharing_writeback(self, row: int, msg: CoherenceMessage) -> None:
         """Sw: owner downgraded to Shared after a forwarded read."""
-        self._check_inflight(e, msg)
-        self._set_state(e, msg, DirState.SHARED_REMOTE)
-        e.version = msg.version
-        e.sharers = {msg.src, msg.requester}
-        e.owner = None
-        e.lw.note_sharer_count(len(e.sharers))
-        self._complete(e)
+        self._check_inflight(row, msg)
+        self._set_state(row, msg, DIR_SR)
+        self._versions[row] = msg.version
+        self._sharers[row] = {msg.src, msg.requester}
+        self._owners[row] = -1
+        # Two sharers: the LW valid bit survives (reset only above two).
+        self._complete(row)
 
-    def _on_ownership_transfer(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _on_ownership_transfer(self, row: int, msg: CoherenceMessage) -> None:
         """Xfer: owner passed its exclusive copy for a forwarded Rxq.
 
         Like the migratory DT flow, the new owner may not replace the
@@ -341,12 +534,12 @@ class DirectoryController:
         writeback could reach home before the Xfer and corrupt the
         directory (found by the model checker in repro.verify).
         """
-        self._check_inflight(e, msg)
+        self._check_inflight(row, msg)
         done = self.memory.directory_access(self.sim.now)
-        self._set_state(e, msg, DirState.DIRTY_REMOTE)
-        e.owner = msg.requester
-        e.sharers = set()
-        e.lw.record_write(msg.requester)
+        self._set_state(row, msg, DIR_DR)
+        self._owners[row] = msg.requester
+        self._sharers[row] = set()
+        self._lw[row] = msg.requester
         self._send_at(
             done,
             CoherenceMessage(
@@ -355,19 +548,19 @@ class DirectoryController:
                 trace=msg.trace,
             ),
         )
-        self._complete(e)
+        self._complete(row)
 
-    def _on_dirty_transfer(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _on_dirty_transfer(self, row: int, msg: CoherenceMessage) -> None:
         """DT: migratory ownership moved to the requester (Figure 3)."""
-        _inflight_msg, demote = self._check_inflight(e, msg)
+        _inflight_msg, demote = self._check_inflight(row, msg)
         done = self.memory.directory_access(self.sim.now)
         if demote:
-            self._set_state(e, msg, DirState.DIRTY_REMOTE)
-            e.lw.record_write(msg.requester)
+            self._set_state(row, msg, DIR_DR)
+            self._lw[row] = msg.requester
         else:
-            self._set_state(e, msg, DirState.MIGRATORY_DIRTY)
-        e.owner = msg.requester
-        e.sharers = set()
+            self._set_state(row, msg, DIR_MD)
+        self._owners[row] = msg.requester
+        self._sharers[row] = set()
         # Home's directory is now updated; release the requester's
         # replacement lock (Figure 3's MIack).
         self._send_at(
@@ -378,55 +571,58 @@ class DirectoryController:
                 trace=msg.trace,
             ),
         )
-        self._complete(e)
+        self._complete(row)
 
-    def _on_nomig(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _on_nomig(self, row: int, msg: CoherenceMessage) -> None:
         """NoMig: the owner refused migration (read-only sharing detected).
 
         Carries the writeback data (plays Sw's role); the block reverts to
         ordinary Shared-Remote and detection state is reset.
         """
-        self._check_inflight(e, msg)
+        self._check_inflight(row, msg)
         self._c_nomig_reverts.inc()
-        self._set_state(e, msg, DirState.SHARED_REMOTE)
-        e.version = msg.version
-        e.sharers = {msg.src, msg.requester}
-        e.owner = None
-        e.lw.invalidate()
-        self._complete(e)
+        self._set_state(row, msg, DIR_SR)
+        self._versions[row] = msg.version
+        self._sharers[row] = {msg.src, msg.requester}
+        self._owners[row] = -1
+        self._lw[row] = -1
+        self._complete(row)
 
-    def _on_nak(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _on_nak(self, row: int, msg: CoherenceMessage) -> None:
         """The forward missed: the owner's writeback is in flight."""
         self._c_naks.inc()
-        inflight_msg, _demote = self._check_inflight(e, msg)
-        e.inflight = None
-        e.pending.appendleft(inflight_msg)
-        if e.state in HOME_VALID_STATES:
+        inflight_msg, _demote = self._check_inflight(row, msg)
+        self._inflight[row] = None
+        self._pending_of(row).appendleft(inflight_msg)
+        if self._states[row] in HOME_VALID_CODES:
             # The writeback already landed; retry immediately.
-            e.busy = False
-            self._drain(e)
+            self._busy[row] = 0
+            self._drain(row)
         else:
-            e.awaiting_wb = True
+            self._awaiting[row] = 1
 
-    def _on_writeback(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _on_writeback(self, row: int, msg: CoherenceMessage) -> None:
         """Replacement writeback of a Dirty or Migrating line."""
-        if e.owner != msg.src:
+        owner = self._owners[row]
+        st = self._states[row]
+        if owner != msg.src:
             raise SimulationError(
                 f"writeback for block {msg.block} from node {msg.src}, "
-                f"but directory owner is {e.owner} (state {e.state})"
+                f"but directory owner is {None if owner < 0 else owner} "
+                f"(state {DIR_STATES_BY_CODE[st]})"
             )
         self._c_writebacks_received.inc()
         done = self.memory.access(self.sim.now)
-        if e.state is DirState.DIRTY_REMOTE:
-            e.state = DirState.UNCACHED
-        elif e.state is DirState.MIGRATORY_DIRTY:
+        if st == DIR_DR:
+            self._states[row] = DIR_U
+        elif st == DIR_MD:
             # The nomination survives replacement (paper Section 3.3's
             # Migratory-Uncached state exists exactly for this).
-            e.state = DirState.MIGRATORY_UNCACHED
+            self._states[row] = DIR_MU
         else:  # pragma: no cover - owner check makes this unreachable
-            raise SimulationError(f"writeback in state {e.state}")
-        e.owner = None
-        e.version = msg.version
+            raise SimulationError(f"writeback in state {DIR_STATES_BY_CODE[st]}")
+        self._owners[row] = -1
+        self._versions[row] = msg.version
         self._send_at(
             done,
             CoherenceMessage(
@@ -434,75 +630,81 @@ class DirectoryController:
                 block=msg.block, requester=msg.src, src_is_cache=False,
             ),
         )
-        if e.busy and e.awaiting_wb:
-            e.busy = False
-            e.awaiting_wb = False
-            self._drain(e)
+        if self._busy[row] and self._awaiting[row]:
+            self._busy[row] = 0
+            self._awaiting[row] = 0
+            self._drain(row)
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
     def _forward(
         self,
-        e: DirectoryEntry,
+        row: int,
         msg: CoherenceMessage,
         kind: MsgKind,
         *,
         demote: bool,
         for_write: bool = False,
     ) -> None:
-        e.busy = True
+        self._busy[row] = 1
         msg.retained = True
-        e.inflight = (msg, demote)
+        self._inflight[row] = (msg, demote)
         done = self.memory.directory_access(self.sim.now)
         self._send_at(
             done,
             CoherenceMessage(
-                src=self.node, dst=e.owner, kind=kind,
+                src=self.node, dst=self._owners[row], kind=kind,
                 block=msg.block, requester=msg.requester,
                 for_write=for_write, src_is_cache=False,
                 trace=msg.trace,
             ),
         )
 
-    def _wait_for_writeback(self, e: DirectoryEntry, msg: CoherenceMessage) -> None:
+    def _wait_for_writeback(self, row: int, msg: CoherenceMessage) -> None:
         """The requester is the recorded owner: its writeback is in flight."""
-        e.busy = True
-        e.awaiting_wb = True
-        e.inflight = None
+        self._busy[row] = 1
+        self._awaiting[row] = 1
+        self._inflight[row] = None
         msg.retained = True
-        e.pending.appendleft(msg)
+        self._pending_of(row).appendleft(msg)
 
     def _check_inflight(
-        self, e: DirectoryEntry, msg: CoherenceMessage
+        self, row: int, msg: CoherenceMessage
     ) -> Tuple[CoherenceMessage, bool]:
-        if not e.busy or e.inflight is None:
+        inflight = self._inflight[row]
+        if not self._busy[row] or inflight is None:
             raise SimulationError(
                 f"directory {self.node} got {msg!r} with no transaction in flight"
             )
-        inflight_msg, demote = e.inflight
+        inflight_msg, demote = inflight
         if inflight_msg.block != msg.block or inflight_msg.requester != msg.requester:
             raise SimulationError(
                 f"response {msg!r} does not match in-flight {inflight_msg!r}"
             )
         return inflight_msg, demote
 
-    def _complete(self, e: DirectoryEntry) -> None:
-        e.busy = False
-        if e.inflight is not None:
-            done = e.inflight[0]
-            e.inflight = None
+    def _complete(self, row: int) -> None:
+        self._busy[row] = 0
+        inflight = self._inflight[row]
+        if inflight is not None:
+            done = inflight[0]
+            self._inflight[row] = None
             done.retained = False
             done.release()
-        self._drain(e)
+        self._drain(row)
 
-    def _drain(self, e: DirectoryEntry) -> None:
-        while e.pending and not e.busy:
-            msg = e.pending.popleft()
+    def _drain(self, row: int) -> None:
+        pending = self._pending[row]
+        if not pending:
+            return
+        busy = self._busy
+        while pending and not busy[row]:
+            msg = pending.popleft()
             # The queue owned this message; _process re-retains it if the
             # transaction forwards (or re-queues), otherwise recycle it.
             msg.retained = False
-            self._process(e, msg)
+            self._process(row, msg)
             if not msg.retained:
                 msg.release()
 
@@ -539,4 +741,4 @@ class DirectoryController:
         )
 
     def _send_at(self, time: int, msg: CoherenceMessage) -> None:
-        self.sim.schedule_at(time, lambda: self.transport.send(msg))
+        self.sim.schedule_at(time, self.transport.send, msg)

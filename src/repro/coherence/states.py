@@ -26,12 +26,39 @@ class DirState(enum.Enum):
     MIGRATORY_UNCACHED = "MU"
 
 
+#: Integer state codes stored in the directory's struct-of-arrays column.
+#: Ordered so ``code <= DIR_SR`` means "home serves reads from memory and
+#: adds a sharer" (the Uncached/Shared-Remote pair).
+DIR_U = 0
+DIR_SR = 1
+DIR_DR = 2
+DIR_MD = 3
+DIR_MU = 4
+
+DirState.UNCACHED.code = DIR_U
+DirState.SHARED_REMOTE.code = DIR_SR
+DirState.DIRTY_REMOTE.code = DIR_DR
+DirState.MIGRATORY_DIRTY.code = DIR_MD
+DirState.MIGRATORY_UNCACHED.code = DIR_MU
+
+#: Enum members indexed by state code.
+DIR_STATES_BY_CODE = (
+    DirState.UNCACHED,
+    DirState.SHARED_REMOTE,
+    DirState.DIRTY_REMOTE,
+    DirState.MIGRATORY_DIRTY,
+    DirState.MIGRATORY_UNCACHED,
+)
+
 #: States in which home memory holds valid data.
 HOME_VALID_STATES = (
     DirState.UNCACHED,
     DirState.SHARED_REMOTE,
     DirState.MIGRATORY_UNCACHED,
 )
+
+#: Code-level version of :data:`HOME_VALID_STATES`.
+HOME_VALID_CODES = frozenset((DIR_U, DIR_SR, DIR_MU))
 
 #: States in which the block is considered migratory.
 MIGRATORY_STATES = (DirState.MIGRATORY_DIRTY, DirState.MIGRATORY_UNCACHED)

@@ -12,6 +12,12 @@ controller (or another cache controller).  Timing composition:
   to itself skips the mesh entirely.
 
 The transport also owns the per-kind traffic accounting used by Table 3.
+
+Hot-path layout: handlers live in node-indexed lists (``handlers[dst]``
+is a list index, not a dict hash), the mesh for a message is picked by
+``kind.net_idx`` from a two-slot tuple (bypassing the fabric's
+name-string dispatch), and every deferred hop is scheduled as
+``schedule_at(t, method, msg)`` so no closure is allocated per message.
 """
 
 from __future__ import annotations
@@ -50,13 +56,18 @@ class Transport:
     ) -> None:
         self.sim = sim
         self.fabric = fabric
+        #: Meshes indexed by ``MsgKind.net_idx`` (0 = request, 1 = reply);
+        #: the send path picks one with a tuple index instead of routing
+        #: through ``Fabric.send``'s name-string dispatch.
+        self._meshes = (fabric.request_mesh, fabric.reply_mesh)
         self.buses = buses
         #: Payload size of data-carrying messages (one cache line).  The
         #: message vocabulary defaults to the paper's 16-byte lines; the
         #: transport re-sizes for other machine configurations.
         self.line_bits = line_bits
-        self._cache_handlers: Dict[int, Handler] = {}
-        self._directory_handlers: Dict[int, Handler] = {}
+        #: Per-node delivery handlers, indexed by node id (None = absent).
+        self._cache_handlers: List[Optional[Handler]] = [None] * fabric.num_nodes
+        self._directory_handlers: List[Optional[Handler]] = [None] * fabric.num_nodes
         # Traffic accounting (all injected messages, by kind).  Kept as
         # flat lists indexed by ``MsgKind.index`` so the send path does a
         # list store instead of hashing an enum member; the dict views the
@@ -102,9 +113,10 @@ class Transport:
 
     def _send_now(self, msg: CoherenceMessage) -> None:
         """Perform the actual bus/mesh injection of ``msg``."""
+        sim = self.sim
         tracer = self.tracer
         if tracer is not None and msg.trace:
-            tracer.on_send(msg, self.sim.now)
+            tracer.on_send(msg, sim.now)
         kind = msg.kind
         carries_data = kind.carries_data
         if carries_data:
@@ -118,23 +130,24 @@ class Transport:
             # Node-local: one bus transaction covers the hop between the
             # cache and the directory/memory side.
             bus = self.buses[msg.src]
-            done = bus.transact(self.sim.now, bits if carries_data else 0)
-            self.sim.schedule_at(done, lambda: self._dispatch(msg))
+            done = bus.transact(sim.now, bits if carries_data else 0)
+            sim.schedule_at(done, self._dispatch, msg)
             return
 
         self.network_bits += bits
         self.network_messages += 1
 
-        def inject() -> None:
-            self.fabric.send(msg, msg.kind.net)
-
         if msg.src_is_cache:
             # Cache -> network interface over the local bus.
             bus = self.buses[msg.src]
-            done = bus.transact(self.sim.now, bits if carries_data else 0)
-            self.sim.schedule_at(done, inject)
+            done = bus.transact(sim.now, bits if carries_data else 0)
+            sim.schedule_at(done, self._inject, msg)
         else:
-            inject()
+            self._meshes[kind.net_idx].send(msg, self._deliver)
+
+    def _inject(self, msg: CoherenceMessage) -> None:
+        """Hand ``msg`` to its mesh once the local bus hop completes."""
+        self._meshes[msg.kind.net_idx].send(msg, self._deliver)
 
     # ------------------------------------------------------------------
     # Delivery
@@ -146,9 +159,10 @@ class Transport:
             self._dispatch(msg)
         else:
             # Network interface -> cache over the local bus.
+            sim = self.sim
             bus = self.buses[msg.dst]
-            done = bus.transact(self.sim.now, msg.bits if kind.carries_data else 0)
-            self.sim.schedule_at(done, lambda: self._dispatch(msg))
+            done = bus.transact(sim.now, msg.bits if kind.carries_data else 0)
+            sim.schedule_at(done, self._dispatch, msg)
 
     def _dispatch(self, msg: CoherenceMessage) -> None:
         self._inflight.pop(id(msg), None)
@@ -159,7 +173,7 @@ class Transport:
         handlers = (
             self._directory_handlers if msg.kind.to_directory else self._cache_handlers
         )
-        handler = handlers.get(msg.dst)
+        handler = handlers[msg.dst]
         if handler is None:
             raise SimulationError(
                 f"no {'directory' if msg.dst_is_directory else 'cache'} handler "

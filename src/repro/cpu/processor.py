@@ -88,7 +88,7 @@ class Processor:
         # Reaching here means the previous operation retired: feed the
         # simulator's progress watchdog (plain store; cheapest possible).
         sim = self.sim
-        sim.last_progress = sim._now
+        sim.last_progress = sim.now
         try:
             code, arg = next(self._program)
         except StopIteration:

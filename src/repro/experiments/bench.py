@@ -15,6 +15,8 @@ Schema (``repro-bench/1``)::
       "created": "<UTC ISO timestamp>",
       "suite": "figure5", "preset": "default", "workers": 4,
       "host": {"python": ..., "platform": ..., "cpu_count": ...},
+      "code_version": "src-<digest>",  # same digest the result store keys on
+      "fast_path": "pure" | "compiled" | "mixed",
       "serial_wall_time_s": ..., "parallel_wall_time_s": ...,
       "speedup": ...,            # serial / parallel wall time
       "parallel_matches_serial": true,
@@ -38,6 +40,8 @@ from time import perf_counter
 from typing import Dict, List, Optional, Union
 
 from repro.core.policy import ProtocolPolicy
+from repro.experiments.store import code_version
+from repro.fastpath import fast_path_variant
 from repro.experiments.parallel import (
     RunOutcome,
     RunSpec,
@@ -149,6 +153,13 @@ def run_bench_suite(
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),
         },
+        # Which simulator produced these numbers: the same code digest
+        # the result store keys on, and the active hot-core variant
+        # ("pure", "compiled", or "mixed") — a perf delta against a
+        # snapshot from a different code version or fast-path variant is
+        # expected, not a regression.
+        "code_version": code_version(),
+        "fast_path": fast_path_variant(),
         "serial_wall_time_s": round(serial_wall, 4),
         "total_events": total_events,
         "events_per_sec_serial": (
@@ -191,7 +202,12 @@ def render_bench(doc: dict) -> str:
         )
     lines = [
         f"bench suite {doc['suite']!r} (preset {doc['preset']}) — "
-        f"{doc['created']}",
+        f"{doc['created']}"
+        + (
+            f" — fast path: {doc['fast_path']} ({doc.get('code_version', '?')})"
+            if "fast_path" in doc
+            else ""
+        ),
         f"serial   {doc['serial_wall_time_s']:8.2f} s   "
         f"{doc['events_per_sec_serial'] or 0:>9,} events/s",
         parallel_line,

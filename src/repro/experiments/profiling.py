@@ -18,11 +18,22 @@ Artifact schema (``repro-profile/1``)::
       "events_processed": 36250,
       "events_per_sec": 29471,
       "execution_time": 11265,
+      "subsystems": [
+        {"subsystem": "engine", "tottime_s": 0.4, "ncalls": 120000,
+         "share": 0.33}, ...
+      ],
+      "pool": {"pool_size": 64, "live_high_water": 41, ...},
       "hotspots": [
         {"function": "...", "file": "...", "line": 123,
          "ncalls": 1000, "tottime_s": 0.5, "cumtime_s": 0.7}, ...
       ]
     }
+
+The ``subsystems`` table attributes *self* time per simulator layer
+(engine / transport / cache / directory / network / ...), so the shares
+sum to roughly the wall time.  ``pool`` reports the message-pool census;
+its retain/release balance fields are populated only under
+``REPRO_POOL_DEBUG=1``.
 """
 
 from __future__ import annotations
@@ -47,6 +58,38 @@ SORT_KEYS = {
     "cumtime": pstats.SortKey.CUMULATIVE,
     "calls": pstats.SortKey.CALLS,
 }
+
+#: Source-path fragments -> subsystem label, first match wins.  Used to
+#: attribute cumulative self-time per simulator subsystem so a profile
+#: answers "where does the run spend its time?" without reading 25
+#: hotspot rows.  Paths are matched with '/'-normalized separators.
+SUBSYSTEM_MAP = (
+    ("repro/sim/", "engine"),
+    ("repro/coherence/transport", "transport"),
+    ("repro/coherence/messages", "transport"),
+    ("repro/coherence/_messages_impl", "transport"),
+    ("repro/faults/plan", "transport"),
+    ("repro/coherence/cache_ctrl", "cache"),
+    ("repro/memory/cache", "cache"),
+    ("repro/coherence/directory", "directory"),
+    ("repro/coherence/states", "directory"),
+    ("repro/core/detection", "directory"),
+    ("repro/network/", "network"),
+    ("repro/memory/bus", "network"),
+    ("repro/memory/dram", "memory"),
+    ("repro/cpu/", "cpu"),
+    ("repro/workloads/", "workload"),
+    ("repro/coherence/checker", "checker"),
+)
+
+
+def _subsystem_of(file: str) -> str:
+    """Subsystem label for one profiled source file ('other' = unmapped)."""
+    normalized = file.replace("\\", "/")
+    for fragment, label in SUBSYSTEM_MAP:
+        if fragment in normalized:
+            return label
+    return "other"
 
 
 def profile_run(
@@ -98,6 +141,28 @@ def profile_run(
             }
         )
 
+    # Subsystem attribution: self-time (tottime) summed per subsystem so
+    # the shares add to the wall time instead of double-counting callers.
+    sub_time: dict = {}
+    sub_calls: dict = {}
+    for (file, _line, _name), (_cc, nc, tottime, _cum, _callers) in stats.stats.items():
+        label = _subsystem_of(file)
+        sub_time[label] = sub_time.get(label, 0.0) + tottime
+        sub_calls[label] = sub_calls.get(label, 0) + nc
+    subsystems = [
+        {
+            "subsystem": label,
+            "tottime_s": round(sub_time[label], 6),
+            "ncalls": sub_calls[label],
+            "share": round(sub_time[label] / wall, 4) if wall > 0 else 0.0,
+        }
+        for label in sorted(sub_time, key=lambda k: -sub_time[k])
+    ]
+
+    # Message-pool census: size/high-water always; retain/release balance
+    # only when REPRO_POOL_DEBUG=1 maintained the counters.
+    from repro.coherence.messages import pool_stats
+
     events = result.events_processed
     # Record everything needed to reproduce the run: a profile artifact
     # read months later must answer "what exactly was measured?" itself.
@@ -124,6 +189,8 @@ def profile_run(
         "events_processed": events,
         "events_per_sec": int(events / wall) if wall > 0 else None,
         "execution_time": result.execution_time,
+        "subsystems": subsystems,
+        "pool": pool_stats(),
         "hotspots": hotspots,
     }
 
@@ -140,9 +207,33 @@ def render_profile_doc(doc: dict) -> str:
             else ""
         )
         + f" — execution time {doc['execution_time']:,} pclocks",
-        "",
-        f"{'ncalls':>10}  {'tottime':>9}  {'cumtime':>9}  function",
     ]
+    subsystems = doc.get("subsystems")
+    if subsystems:
+        lines.append("")
+        lines.append(f"{'subsystem':<11} {'tottime':>9}  {'share':>6}  {'ncalls':>12}")
+        for row in subsystems:
+            lines.append(
+                f"{row['subsystem']:<11} {row['tottime_s']:>9.4f}  "
+                f"{row['share']:>6.1%}  {row['ncalls']:>12,}"
+            )
+    pool = doc.get("pool")
+    if pool:
+        if pool.get("debug"):
+            lines.append(
+                f"message pool: {pool['acquired']:,} acquired / "
+                f"{pool['released']:,} released "
+                f"(outstanding {pool['outstanding']}), "
+                f"high water {pool['live_high_water']:,} live / "
+                f"{pool['free_high_water']:,} free"
+            )
+        else:
+            lines.append(
+                f"message pool: free-list size {pool['free_size']:,} "
+                "(set REPRO_POOL_DEBUG=1 for retain/release accounting)"
+            )
+    lines.append("")
+    lines.append(f"{'ncalls':>10}  {'tottime':>9}  {'cumtime':>9}  function")
     for spot in doc["hotspots"]:
         where = Path(spot["file"]).name if spot["file"] else "~"
         lines.append(

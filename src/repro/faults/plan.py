@@ -202,7 +202,7 @@ class FaultPlan:
             and self._delay_rng.random() < self.reorder_fraction
         ):
             self._held[msg.src] = msg
-            self._sim.schedule(self.reorder_window, lambda: self._flush(msg.src, msg))
+            self._sim.schedule(self.reorder_window, self._flush, msg.src, msg)
             return
         self._dispatch(msg)
 
@@ -231,7 +231,7 @@ class FaultPlan:
             # A future release, or an equal-time release that may still be
             # queued: schedule so heap FIFO order preserves the lane.
             self._last_release[key] = (release, True)
-            self._sim.schedule_at(release, lambda: self._send_now(msg))
+            self._sim.schedule_at(release, self._send_now, msg)
         else:
             self._last_release[key] = (now, False)
             self._send_now(msg)

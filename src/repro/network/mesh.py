@@ -73,6 +73,9 @@ class Mesh:
         self.interface_delay = interface_delay
         self.name = name
         self.num_nodes = width * height
+        #: True when links are InfiniteResources (send() skips the FIFO
+        #: reservation arithmetic entirely for that case).
+        self._infinite = infinite_bandwidth
         link_cls = InfiniteResource if infinite_bandwidth else Resource
         # XY routes are static, so each (src, dst) path is computed once
         # and reused for every message on the hot send path.
@@ -192,7 +195,8 @@ class Mesh:
         pclocks after the head enters the final link.  A message to self
         pays both interface crossings but no mesh traversal.
         """
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
         message.sent_at = now
         bits = message.bits
         flits = -(-bits // self.link_bits)  # ceil division
@@ -205,18 +209,35 @@ class Mesh:
             interface_delay = self.interface_delay
             fall_through = self.fall_through
             head = now + interface_delay
-            chain = self._chain(message.src, message.dst)
-            for link in chain:
-                head = link.reserve(head, flits) + fall_through
+            chain = self._chain_cache.get((message.src, message.dst))
+            if chain is None:
+                chain = self._chain(message.src, message.dst)
+            if self._infinite:
+                for link in chain:
+                    link.reservations += 1
+                    head += fall_through
+            else:
+                # Inlined Resource.reserve (same FIFO arithmetic): one link
+                # acquisition per hop without a method call per link.
+                for link in chain:
+                    free_at = link._free_at
+                    start = free_at if free_at > head else head
+                    link._free_at = start + flits
+                    link.busy_time += flits
+                    link.reservations += 1
+                    head = start + fall_through
             self.flit_hops += flits * len(chain)
             arrival = head + flits + interface_delay
 
-        def _deliver() -> None:
-            message.delivered_at = self.sim.now
-            self.total_latency += self.sim.now - message.sent_at
-            deliver(message)
+        # Latency bookkeeping happens at delivery time (not precomputed
+        # here) so reset_stats() mid-flight keeps mean_latency honest.
+        sim.schedule_at(arrival, self._complete, message, deliver)
 
-        self.sim.schedule_at(arrival, _deliver)
+    def _complete(self, message: NetworkMessage, deliver: DeliveryCallback) -> None:
+        now = self.sim.now
+        message.delivered_at = now
+        self.total_latency += now - message.sent_at
+        deliver(message)
 
     # ------------------------------------------------------------------
     # Statistics

@@ -1,0 +1,100 @@
+"""Message-pool leak guard (``REPRO_POOL_DEBUG=1``).
+
+``POOL_DEBUG`` is read at import time, so the accounting tests run the
+simulator in a subprocess with the variable set.  A clean run must
+balance every retain/release; an artificial leak must raise
+:class:`PoolLeakError` at simulation end.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.coherence.messages import POOL_DEBUG, pool_outstanding, pool_stats
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_debug_script(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_POOL_DEBUG"] = "1"
+    return subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def test_accounting_off_by_default():
+    if POOL_DEBUG:  # suite itself launched with REPRO_POOL_DEBUG=1
+        assert pool_outstanding() is not None
+        return
+    assert pool_outstanding() is None
+    stats = pool_stats()
+    assert stats["debug"] is False
+    assert stats["acquired"] is None and stats["live_high_water"] is None
+
+
+def test_clean_run_balances_pool():
+    proc = _run_debug_script("""
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.runner import run_workload
+from repro.coherence.messages import pool_outstanding, pool_stats
+
+run_workload("mp3d", ProtocolPolicy.adaptive_default(), preset="tiny")
+assert pool_outstanding() == 0, pool_stats()
+stats = pool_stats()
+assert stats["debug"] is True
+assert stats["acquired"] == stats["released"] > 0
+assert stats["live_high_water"] > 0
+print("BALANCED", stats["acquired"])
+""")
+    assert proc.returncode == 0, proc.stderr
+    assert "BALANCED" in proc.stdout
+
+
+def test_leak_raises_at_clean_end():
+    """A message retained past the end of a run trips pool_check."""
+    proc = _run_debug_script("""
+from repro.coherence.messages import (
+    CoherenceMessage, MsgKind, PoolLeakError, pool_check, pool_outstanding,
+)
+
+baseline = pool_outstanding()
+leaked = CoherenceMessage(kind=MsgKind.RR, src=0, dst=1, block=7)
+leaked.retained = True  # never released
+try:
+    pool_check(baseline, context="leak test")
+except PoolLeakError as exc:
+    assert "leaked" in str(exc), exc
+    print("CAUGHT")
+else:
+    raise SystemExit("pool_check missed the leak")
+""")
+    assert proc.returncode == 0, proc.stderr
+    assert "CAUGHT" in proc.stdout
+
+
+def test_double_release_raises():
+    proc = _run_debug_script("""
+from repro.coherence.messages import (
+    CoherenceMessage, MsgKind, PoolLeakError, pool_check, pool_outstanding,
+)
+
+baseline = pool_outstanding()
+msg = CoherenceMessage(kind=MsgKind.RR, src=0, dst=1, block=7)
+msg.release()
+msg.release()  # double release: released > acquired
+try:
+    pool_check(baseline, context="double-release test")
+except PoolLeakError as exc:
+    assert "double-released" in str(exc), exc
+    print("CAUGHT")
+else:
+    raise SystemExit("pool_check missed the double release")
+""")
+    assert proc.returncode == 0, proc.stderr
+    assert "CAUGHT" in proc.stdout

@@ -1,0 +1,94 @@
+"""Fast-path plumbing: variant detection, forced-pure loading, and
+cross-variant determinism.
+
+The compiled (mypyc) fast path is opt-in infrastructure — these tests
+must pass whether or not the extensions are installed.  The determinism
+test runs the same tiny workload in a ``REPRO_FORCE_PURE=1`` subprocess
+and compares the full result fingerprint against the in-process run:
+whatever variant this process loaded, the pure-Python reference must
+produce byte-identical results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.coherence import messages
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.runner import run_workload
+from repro.fastpath import fast_path_variant, force_pure, load_impl
+from repro.sim import engine
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# One small script both subprocess tests share: run mp3d/AD tiny and
+# print the deterministic result fingerprint as JSON.
+FINGERPRINT_SCRIPT = """
+import json, sys
+from repro.core.policy import ProtocolPolicy
+from repro.experiments.runner import run_workload
+
+result = run_workload("mp3d", ProtocolPolicy.adaptive_default(), preset="tiny")
+print(json.dumps({
+    "execution_time": result.execution_time,
+    "events_processed": result.events_processed,
+    "network_bits": result.network_bits,
+    "network_messages": result.network_messages,
+    "counters": result.counters.as_dict(),
+    "count_by_kind": result.count_by_kind,
+}))
+"""
+
+
+def _run_fingerprint(extra_env):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, "-c", FINGERPRINT_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_variant_is_reported():
+    assert fast_path_variant() in ("pure", "compiled", "mixed")
+    assert isinstance(engine.FAST_PATH_COMPILED, bool)
+    assert isinstance(messages.FAST_PATH_COMPILED, bool)
+
+
+def test_load_impl_honors_force_pure(monkeypatch):
+    monkeypatch.setenv("REPRO_FORCE_PURE", "1")
+    assert force_pure()
+    module, compiled = load_impl("repro.sim._engine_impl")
+    assert not compiled
+    assert hasattr(module, "Simulator")
+    monkeypatch.setenv("REPRO_FORCE_PURE", "0")
+    assert not force_pure()
+
+
+def test_pure_subprocess_matches_in_process():
+    """REPRO_FORCE_PURE=1 produces the identical result fingerprint."""
+    result = run_workload("mp3d", ProtocolPolicy.adaptive_default(), preset="tiny")
+    here = {
+        "execution_time": result.execution_time,
+        "events_processed": result.events_processed,
+        "network_bits": result.network_bits,
+        "network_messages": result.network_messages,
+        "counters": result.counters.as_dict(),
+        "count_by_kind": result.count_by_kind,
+    }
+    pure = _run_fingerprint({"REPRO_FORCE_PURE": "1"})
+    assert pure == here
+
+
+def test_auto_subprocess_matches_forced_pure():
+    """Whatever 'auto' loads in a fresh process equals the pure reference."""
+    auto = _run_fingerprint({})
+    pure = _run_fingerprint({"REPRO_FORCE_PURE": "1"})
+    assert auto == pure
