@@ -42,18 +42,16 @@ from repro.workloads import PRESETS, WORKLOADS
 
 
 def _policy_by_name(name: str) -> ProtocolPolicy:
-    table = {
-        "W-I": ProtocolPolicy.write_invalidate(),
-        "WI": ProtocolPolicy.write_invalidate(),
-        "AD": ProtocolPolicy.adaptive_default(),
-        "AD-RXQ": ProtocolPolicy(adaptive=True, rxq_reverts_to_ordinary=True),
-        "AD-NONOMIG": ProtocolPolicy(adaptive=True, nomig_enabled=False),
-    }
+    from repro.protocols import available_protocols, policy_for
+
     try:
-        return table[name.upper()]
+        return policy_for(name)
     except KeyError:
+        choices = sorted(
+            p.upper() for p in available_protocols()
+        ) + ["AD-RXQ", "AD-NONOMIG"]
         raise SystemExit(
-            f"unknown protocol {name!r}; choose from {sorted(table)}"
+            f"unknown protocol {name!r}; choose from {choices}"
         ) from None
 
 
@@ -133,6 +131,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "migrating_promotions", "nomig_reverts", "writebacks", "naks",
     ):
         print(f"  {counter:<22}{result.counter(counter)}")
+    # Protocol-family counters (MESI / Dragon / Hybrid) only appear when
+    # they fired, keeping the W-I/AD output unchanged.
+    for counter in (
+        "exclusive_grants", "wu_received", "updates_sent",
+        "updates_applied", "uacks_sent", "update_fallbacks",
+    ):
+        if result.counter(counter):
+            print(f"  {counter:<22}{result.counter(counter)}")
     if result.latency is not None:
         from repro.obs import render_latency_summary
 
@@ -340,26 +346,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    policies = None
+    if args.protocols:
+        names = [n.strip() for n in args.protocols.split(",") if n.strip()]
+        if len(names) < 2:
+            raise SystemExit("--protocols needs at least two comma-separated "
+                             "protocol names")
+        policies = [_policy_by_name(n) for n in names]
     comparison = compare_protocols(
         args.workload,
         preset=args.preset,
         consistency=model_by_name(args.consistency),
         check_coherence=not args.no_check,
         workers=args.workers,
+        policies=policies,
     )
+    results = comparison.results
     rows = [
-        ("execution time (pclocks)", comparison.wi.execution_time,
-         comparison.ad.execution_time),
-        ("read-exclusive requests", comparison.wi.counter("rxq_received"),
-         comparison.ad.counter("rxq_received")),
-        ("network bits", comparison.wi.network_bits, comparison.ad.network_bits),
+        ("execution time (pclocks)",
+         *[r.execution_time for r in results.values()]),
+        ("read-exclusive requests",
+         *[r.counter("rxq_received") for r in results.values()]),
+        ("network bits", *[r.network_bits for r in results.values()]),
+        ("invalidations sent",
+         *[r.counter("invalidations_sent") for r in results.values()]),
+        ("updates sent",
+         *[r.counter("updates_sent") for r in results.values()]),
         ("write stall (pclocks)",
-         comparison.wi.aggregate_breakdown.write_stall,
-         comparison.ad.aggregate_breakdown.write_stall),
+         *[r.aggregate_breakdown.write_stall for r in results.values()]),
     ]
-    print(format_table(("metric", "W-I", "AD"), rows))
+    print(format_table(("metric", *results), rows))
     print()
-    print(f"execution-time ratio (W-I/AD): {comparison.execution_time_ratio:.2f}")
+    base, contender = comparison.wi.policy_name, comparison.ad.policy_name
+    pair = f"({base}/{contender})"
+    print(f"execution-time ratio {pair:<9} {comparison.execution_time_ratio:.2f}")
     print(f"read-exclusive reduction:      {comparison.rx_reduction:.1%}")
     print(f"traffic reduction:             {comparison.traffic_reduction:.1%}")
     print(f"write-penalty reduction:       {comparison.write_penalty_reduction:.1%}")
@@ -566,6 +586,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"--intensities must be comma-separated floats, got "
             f"{args.intensities!r}"
         ) from None
+    policies = None
+    if args.protocols:
+        policies = [
+            _policy_by_name(n)
+            for n in args.protocols.split(",")
+            if n.strip()
+        ]
     report = run_chaos(
         args.workloads or DEFAULT_WORKLOADS,
         intensities,
@@ -574,6 +601,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         watchdog=args.watchdog,
         workers=args.workers,
         check_coherence=not args.no_check,
+        policies=policies,
     )
     if args.json:
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
@@ -676,11 +704,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "--perfetto is given)")
     trace_p.set_defaults(func=_cmd_trace)
 
-    cmp_p = sub.add_parser("compare", help="run W-I vs AD and report reductions")
+    cmp_p = sub.add_parser(
+        "compare", help="run N protocols side by side and report reductions"
+    )
     cmp_p.add_argument("workload", choices=sorted(WORKLOADS))
     cmp_p.add_argument("--consistency", default="SC")
     cmp_p.add_argument("--preset", default="default")
     cmp_p.add_argument("--no-check", action="store_true")
+    cmp_p.add_argument("--protocols", default=None, metavar="P1,P2,...",
+                       help="comma-separated protocols to compare (default "
+                            "W-I,AD; e.g. W-I,AD,MESI,Dragon,Hybrid); the "
+                            "first is the baseline for the derived metrics")
     cmp_p.add_argument("--workers", type=int, default=1,
                        help="worker processes for the two runs (default 1)")
     cmp_p.set_defaults(func=_cmd_compare)
@@ -791,6 +825,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "replays the same perturbation")
     chaos_p.add_argument("--watchdog", type=int, default=200_000,
                          help="livelock watchdog window in pclocks")
+    chaos_p.add_argument("--protocols", default=None, metavar="P1,P2,...",
+                         help="comma-separated protocols to sweep (default: "
+                              "the full registered family)")
     chaos_p.add_argument("--workers", type=int, default=1,
                          help="worker processes for the grid (default 1)")
     chaos_p.add_argument("--json", action="store_true",

@@ -96,11 +96,32 @@ class MsgKind(enum.Enum):
     WACK = "Wack"
     # Home -> requester (adaptive: directory-updated acknowledge).
     MIACK = "MIack"
+    # Write-update protocols (Dragon / hybrid), appended after the paper's
+    # vocabulary so existing kind indices stay stable:
+    # Writer -> home: commit a write to a shared line (carries the data).
+    WU = "Wu"
+    # Home -> writer: write committed; carries the new version and the
+    # number of Uack acknowledgements to collect (``n_invals`` slot).
+    WUP = "Wup"
+    # Home -> sharer: update the cached copy in place (carries the data).
+    UPD = "Upd"
+    # Sharer -> writer: update applied (collected like Iacks).
+    UACK = "Uack"
 
 
 #: Message kinds that carry a cache line of data.
 DATA_KINDS = frozenset(
-    {MsgKind.RP, MsgKind.RXP, MsgKind.MACK, MsgKind.SW, MsgKind.NOMIG, MsgKind.WB}
+    {
+        MsgKind.RP,
+        MsgKind.RXP,
+        MsgKind.MACK,
+        MsgKind.SW,
+        MsgKind.NOMIG,
+        MsgKind.WB,
+        MsgKind.WU,
+        MsgKind.WUP,
+        MsgKind.UPD,
+    }
 )
 
 #: Kinds delivered to a home directory controller (everything else goes to
@@ -115,6 +136,7 @@ DIRECTORY_KINDS = frozenset(
         MsgKind.NOMIG,
         MsgKind.NAK,
         MsgKind.WB,
+        MsgKind.WU,
     }
 )
 
@@ -130,6 +152,8 @@ REPLY_NET_KINDS = frozenset(
         MsgKind.NOMIG,
         MsgKind.WB,
         MsgKind.NAK,
+        MsgKind.WUP,
+        MsgKind.UACK,
     }
 )
 

@@ -36,6 +36,7 @@ from repro.coherence.checker import CoherenceChecker
 from repro.coherence.messages import NUM_KINDS, CoherenceMessage, MsgKind
 from repro.coherence.transport import Transport
 from repro.core.policy import ProtocolPolicy
+from repro.protocols import behavior_for
 from repro.memory.cache import (
     STATE_D,
     STATE_I,
@@ -71,6 +72,8 @@ class MSHR:
         "invalidate_on_fill",
         "miack_needed",
         "miack_received",
+        "committed",
+        "update_version",
         "waiters",
         "deferred",
         "issued_at",
@@ -90,6 +93,11 @@ class MSHR:
         self.invalidate_on_fill = False
         self.miack_needed = False
         self.miack_received = False
+        #: Write-update protocols: home committed this write (Wup fill);
+        #: retirement installs Shared and must not version the write again.
+        self.committed = False
+        #: Highest version delivered by an Upd that raced this fill.
+        self.update_version = 0
         #: Local processor operations queued behind this miss (WO mode):
         #: list of ("r" | "w", callback).
         self.waiters: List[Tuple[str, DoneCallback]] = []
@@ -123,6 +131,12 @@ class CacheController:
         self.cache = cache
         self.home_of = home_of
         self.policy = policy
+        #: Behavior object supplying the protocol-specific decisions
+        #: (see :mod:`repro.protocols.base` for the hook contract).
+        self.protocol = behavior_for(policy)
+        self._store_kind = self.protocol.store_kind
+        self._clean_exclusive = self.protocol.clean_exclusive
+        self._update_protocol = self.protocol.is_update
         self.checker = checker
         self.counters = counters
         # Pre-resolved integer-slot counter handles (hot path: no string
@@ -140,6 +154,8 @@ class CacheController:
         self._c_writebacks = counters.handle("writebacks")
         self._c_evictions_clean = counters.handle("evictions_clean")
         self._c_iacks_sent = counters.handle("iacks_sent")
+        self._c_updates_applied = counters.handle("updates_applied")
+        self._c_uacks_sent = counters.handle("uacks_sent")
         #: Tag check + data-array read time when servicing a forward.
         self.service_delay = service_delay
         #: Optional :class:`~repro.faults.plan.FaultPlan` consulted when a
@@ -173,6 +189,9 @@ class CacheController:
         table[MsgKind.FWD_RXQ.index] = self._on_fwd_rxq
         table[MsgKind.MR.index] = self._serve_migratory
         table[MsgKind.WACK.index] = self._on_wack
+        table[MsgKind.WUP.index] = self._on_wup
+        table[MsgKind.UPD.index] = self._on_update
+        table[MsgKind.UACK.index] = self._on_iack
         self._dispatch = table
         transport.register_cache(node, self.handle)
 
@@ -280,7 +299,7 @@ class CacheController:
         mshr = MSHR(block, is_write, is_upgrade, self.sim.now)
         mshr.waiters.append(("w" if is_write else "r", done))
         self.mshrs[block] = mshr
-        kind = MsgKind.RXQ if is_write else MsgKind.RR
+        kind = self._store_kind if is_write else MsgKind.RR
         home = self.home_of(block)
         if self.tracer is not None:
             op = "upgrade" if is_upgrade else ("write" if is_write else "read")
@@ -379,6 +398,50 @@ class CacheController:
         mshr.acks_received += 1
         self._maybe_complete(mshr)
 
+    def _on_wup(self, msg: CoherenceMessage) -> None:
+        """Wup: home committed our write; collect Uacks, then install Shared."""
+        mshr = self._mshr_for(msg)
+        mshr.acks_expected = msg.n_invals
+        mshr.committed = True
+        self._on_fill(msg, STATE_S)
+
+    def _on_update(self, msg: CoherenceMessage) -> None:
+        """Upd: another writer's commit updates our shared copy in place.
+
+        Never deferred (like Inv: deferring the Uack behind our own miss
+        could deadlock the writer).  Versions only move forward — a late
+        Upd that lost a race against a newer fill or a fallback
+        invalidation is dropped; one that claims to be *newer* than a
+        writable copy would be real incoherence and raises.
+        """
+        block = msg.block
+        cache = self.cache
+        index = cache.find(block)
+        if index >= 0:
+            code = cache.states[index]
+            if code == STATE_S:
+                if msg.version > cache.versions[index]:
+                    cache.versions[index] = msg.version
+                    self._c_updates_applied.inc()
+            elif msg.version > cache.versions[index]:
+                raise SimulationError(
+                    f"cache {self.node}: Upd v{msg.version} for "
+                    f"{STATES_BY_CODE[code]} line at "
+                    f"v{cache.versions[index]}, block {block}"
+                )
+        mshr = self.mshrs.get(block)
+        if mshr is not None and msg.version > mshr.update_version:
+            # Apply at fill time (the fill may carry an older version).
+            mshr.update_version = msg.version
+        self._c_uacks_sent.inc()
+        self.transport.send(
+            CoherenceMessage(
+                src=self.node, dst=msg.requester, kind=MsgKind.UACK,
+                block=block, requester=msg.requester, src_is_cache=True,
+                trace=msg.trace,
+            )
+        )
+
     def _on_fill(self, msg: CoherenceMessage, state_code: int) -> None:
         mshr = self._mshr_for(msg)
         mshr.data_received = True
@@ -391,13 +454,13 @@ class CacheController:
             return
         if (
             mshr.is_write
-            and mshr.fill_state == STATE_D
             and mshr.acks_expected is not None
             and mshr.acks_received < mshr.acks_expected
         ):
-            # Still collecting invalidation acks.  (Data from an owner —
-            # forwarded Rxq or migration — arrives with acks_expected None
-            # and completes immediately.)
+            # Still collecting invalidation acks (Rxp fills) or update
+            # acks (Wup fills).  (Data from an owner — forwarded Rxq or
+            # migration — arrives with acks_expected None and completes
+            # immediately.)
             return
         self._retire(mshr)
 
@@ -410,6 +473,14 @@ class CacheController:
         # invalidating write, so it is fresh — and home has recorded us as
         # owner, so we must install it.
         consume_once = mshr.invalidate_on_fill and mshr.fill_state == STATE_S
+        # An Upd that overtook the fill (write-update protocols race the
+        # Wup against later writers' Upds across meshes) carries the newer
+        # version; installs only ever move versions forward.
+        fill_version = (
+            mshr.version
+            if mshr.version >= mshr.update_version
+            else mshr.update_version
+        )
         if not consume_once:
             fill_code = mshr.fill_state
             index = cache.find(block)
@@ -418,11 +489,12 @@ class CacheController:
                     # Victim frame awaits its MIack; retry when it arrives.
                     self._miack_waiters.append(lambda: self._retire(mshr))
                     return
-                index = cache.install_index(block, fill_code, mshr.version)
+                index = cache.install_index(block, fill_code, fill_version)
             else:
                 # Upgrade: promote the (still valid) Shared copy in place.
                 cache.states[index] = fill_code
-                cache.versions[index] = mshr.version
+                if fill_version > cache.versions[index]:
+                    cache.versions[index] = fill_version
                 cache._tick += 1
                 cache.lru[index] = cache._tick
             if fill_code >= STATE_D:
@@ -432,9 +504,12 @@ class CacheController:
             if mshr.is_prefetch:
                 pass  # ownership acquired, but no access performed yet
             elif mshr.is_write:
-                cache.versions[index] = self.checker.on_write(
-                    self.node, block, cache.versions[index]
-                )
+                if not mshr.committed:
+                    cache.versions[index] = self.checker.on_write(
+                        self.node, block, cache.versions[index]
+                    )
+                # else: home already committed and versioned this write
+                # (Wup fill); the Shared copy installed above is current.
             else:
                 version = cache.versions[index]
                 self.checker.on_read(self.node, block, version)
@@ -442,8 +517,11 @@ class CacheController:
         else:
             # Consume-once fill: the value is delivered to the processor but
             # an invalidation arrived while the fill was in flight.
-            self.checker.on_read(self.node, block, mshr.version)
-            self.last_read_version = mshr.version
+            if not mshr.is_write:
+                self.checker.on_read(self.node, block, mshr.version)
+                self.last_read_version = mshr.version
+            # (A committed write consumed this way already performed at
+            # home; the later writer's invalidation voids only the copy.)
             self._lost_to_inv.add(block)
 
         if mshr.trace:
@@ -505,9 +583,12 @@ class CacheController:
                     msg.trace, self.sim.now, f"cache{self.node}",
                     "SHARED", "INVALID",
                 )
-        if mshr is not None and not mshr.is_write:
+        if mshr is not None and (not mshr.is_write or self._update_protocol):
             # The pending read was ordered before the invalidating write;
-            # deliver its value once, but do not cache it.
+            # deliver its value once, but do not cache it.  Under a
+            # write-update protocol the same applies to a pending Wu: if
+            # home commits it (Wup, a Shared fill) the invalidation that
+            # beat the fill voids the copy-to-be, so it must not install.
             mshr.invalidate_on_fill = True
         # Acknowledge straight to the writing requester (never deferred:
         # deferring an Iack behind our own miss could deadlock).
@@ -546,7 +627,10 @@ class CacheController:
             self._nak(msg)
             return
         code = cache.states[index]
-        if code != STATE_D:
+        if code != STATE_D and not (self._clean_exclusive and code == STATE_M):
+            # MESI owners may hold the line clean-exclusive (E, reusing
+            # the MIGRATING code); a forward then downgrades or transfers
+            # it exactly like a Dirty line.
             raise SimulationError(
                 f"cache {self.node}: forward for {STATES_BY_CODE[code]} line, "
                 f"block {block}"
@@ -561,7 +645,7 @@ class CacheController:
         if self.tracer is not None and msg.trace:
             self.tracer.transition(
                 msg.trace, self.sim.now, f"cache{self.node}",
-                "DIRTY", "INVALID" if exclusive else "SHARED",
+                STATES_BY_CODE[code].name, "INVALID" if exclusive else "SHARED",
             )
         version = cache.versions[index]
         if exclusive:
@@ -765,6 +849,8 @@ class CacheController:
                     "acks_received": m.acks_received,
                     "miack_needed": m.miack_needed,
                     "miack_received": m.miack_received,
+                    "committed": m.committed,
+                    "update_version": m.update_version,
                     "waiters": len(m.waiters),
                     "deferred": len(m.deferred),
                     "issued_at": m.issued_at,

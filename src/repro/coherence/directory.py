@@ -61,6 +61,7 @@ from repro.coherence.states import (
 from repro.coherence.transport import Transport
 from repro.core.detection import should_nominate
 from repro.core.policy import ProtocolPolicy
+from repro.protocols import behavior_for
 from repro.memory.dram import MemoryModule
 from repro.sim.engine import SimulationError, Simulator
 from repro.stats.counters import Counters
@@ -113,6 +114,14 @@ class DirectoryEntry:
     @version.setter
     def version(self, value: int) -> None:
         self._dir._versions[self._row] = value
+
+    @property
+    def upd_count(self) -> int:
+        return self._dir._upd_count[self._row]
+
+    @upd_count.setter
+    def upd_count(self, value: int) -> None:
+        self._dir._upd_count[self._row] = value
 
     @property
     def busy(self) -> bool:
@@ -203,6 +212,7 @@ class DirectoryController:
         memory: MemoryModule,
         policy: ProtocolPolicy,
         counters: Counters,
+        checker=None,
         profiler=None,
         tracer=None,
     ) -> None:
@@ -211,6 +221,15 @@ class DirectoryController:
         self.transport = transport
         self.memory = memory
         self.policy = policy
+        #: Behavior object supplying the protocol-specific decisions
+        #: (see :mod:`repro.protocols.base` for the hook contract).
+        self.protocol = behavior_for(policy)
+        self._grant_exclusive_read = self.protocol.grant_exclusive_on_read
+        self._is_update = self.protocol.is_update
+        #: Optional :class:`~repro.coherence.checker.CoherenceChecker`:
+        #: write-update protocols commit writes *at home*, so the home
+        #: versions them (None falls back to local version bumping).
+        self.checker = checker
         self.counters = counters
         # Pre-resolved integer-slot counter handles (hot path: no string
         # hashing per home transaction).
@@ -223,6 +242,10 @@ class DirectoryController:
         self._c_nomig_reverts = counters.handle("nomig_reverts")
         self._c_naks = counters.handle("naks")
         self._c_writebacks_received = counters.handle("writebacks_received")
+        self._c_wu_received = counters.handle("wu_received")
+        self._c_updates_sent = counters.handle("updates_sent")
+        self._c_update_fallbacks = counters.handle("update_fallbacks")
+        self._c_exclusive_grants = counters.handle("exclusive_grants")
         #: Gupta-Weber invalidation histogram, one handle per bucket (0-4).
         self._c_inval_dist = [
             counters.handle(f"inval_dist_{bucket}") for bucket in range(5)
@@ -241,6 +264,10 @@ class DirectoryController:
         self._versions = array("q")
         #: Last-writer pointer; -1 = valid bit reset.
         self._lw = array("q")
+        #: Unconsumed home-committed updates per line (competitive hybrid:
+        #: reaching the policy threshold falls the line back to
+        #: invalidation; any consumer read resets it).
+        self._upd_count = array("q")
         self._busy = bytearray()
         self._awaiting = bytearray()
         self._sharers: List[Set[int]] = []
@@ -258,6 +285,7 @@ class DirectoryController:
         table[MsgKind.NOMIG.index] = self._on_nomig
         table[MsgKind.NAK.index] = self._on_nak
         table[MsgKind.WB.index] = self._on_writeback
+        table[MsgKind.WU.index] = self._on_wu
         self._dispatch = table
         transport.register_directory(node, self.handle)
 
@@ -275,6 +303,7 @@ class DirectoryController:
             self._owners.append(-1)
             self._versions.append(0)
             self._lw.append(-1)
+            self._upd_count.append(0)
             self._busy.append(0)
             self._awaiting.append(0)
             self._sharers.append(set())
@@ -337,6 +366,7 @@ class DirectoryController:
                     "state": DIR_STATES_BY_CODE[self._states[row]].name,
                     "owner": None if owner < 0 else owner,
                     "sharers": sorted(self._sharers[row]),
+                    "upd_count": self._upd_count[row],
                     "busy": bool(self._busy[row]),
                     "awaiting_wb": bool(self._awaiting[row]),
                     "inflight": inflight,
@@ -373,6 +403,14 @@ class DirectoryController:
         else:
             self._process_read_exclusive(row, msg)
 
+    def _on_wu(self, row: int, msg: CoherenceMessage) -> None:
+        self._c_wu_received.inc()
+        if self._busy[row]:
+            msg.retained = True
+            self._pending_of(row).append(msg)
+        else:
+            self._process_write_update(row, msg)
+
     # ------------------------------------------------------------------
     # Request processing (entry not busy)
     # ------------------------------------------------------------------
@@ -381,7 +419,9 @@ class DirectoryController:
             self._process_read(row, msg)
         elif msg.kind is MsgKind.RXQ:
             self._process_read_exclusive(row, msg)
-        else:  # pragma: no cover - queue only ever holds RR/RXQ
+        elif msg.kind is MsgKind.WU:
+            self._process_write_update(row, msg)
+        else:  # pragma: no cover - queue only ever holds RR/RXQ/WU
             raise SimulationError(f"unexpected queued message {msg!r}")
 
     def _process_read(self, row: int, msg: CoherenceMessage) -> None:
@@ -390,7 +430,32 @@ class DirectoryController:
         if self.profiler is not None:
             self.profiler.on_read(block, i)
         st = self._states[row]
+        if self._is_update and self._upd_count[row]:
+            # A consumer read reached home: the updates were consumed, so
+            # the competitive hybrid's fallback budget starts over.
+            self._upd_count[row] = 0
         if st <= DIR_SR:  # Uncached or Shared-Remote
+            if st == DIR_U and self._grant_exclusive_read:
+                # MESI: nobody holds the block, so grant the read
+                # exclusively (the E state; realized as a clean
+                # Migrating-coded line that promotes to Dirty silently).
+                # The directory records ownership before the reply
+                # leaves, so no MIack round is needed.
+                done = self.memory.access(self.sim.now)
+                self._c_exclusive_grants.inc()
+                self._set_state(row, msg, DIR_DR)
+                self._owners[row] = i
+                self._sharers[row] = set()
+                self._lw[row] = i
+                self._send_at(
+                    done,
+                    CoherenceMessage(
+                        src=self.node, dst=i, kind=MsgKind.MACK,
+                        block=block, requester=i, version=self._versions[row],
+                        miack_needed=False, src_is_cache=False, trace=msg.trace,
+                    ),
+                )
+                return
             done = self.memory.access(self.sim.now)
             self._set_state(row, msg, DIR_SR)
             sharers = self._sharers[row]
@@ -512,6 +577,64 @@ class DirectoryController:
                            version=self._versions[row], trace=msg.trace)
         else:  # pragma: no cover - exhaustive
             raise SimulationError(f"bad state {DIR_STATES_BY_CODE[st]} for {msg!r}")
+
+    def _process_write_update(self, row: int, msg: CoherenceMessage) -> None:
+        """Wu: a write-update protocol's store to a (potentially) shared line.
+
+        Only a Shared-Remote line with *other* sharers takes the update
+        path: the write commits at home (home memory is the Sm-equivalent
+        ordering point, so home's version is always current in SR), the
+        writer gets a Wup carrying the committed version and the Uack
+        count, and every other sharer gets an in-place Upd.  Everything
+        else — Uncached, sole sharer (Dragon's S→M upgrade: private data
+        keeps writing locally), owned states (the writer's copy was
+        displaced while the Wu was in flight), and the competitive
+        hybrid's fallback — is exactly the read-exclusive flow.
+        """
+        i = msg.requester
+        block = msg.block
+        st = self._states[row]
+        if st == DIR_SR:
+            sharers = self._sharers[row]
+            others = sharers - {i}
+            if others:
+                if self.protocol.use_update(len(others), self._upd_count[row]):
+                    done = self.memory.access(self.sim.now)
+                    if self.checker is not None:
+                        version = self.checker.on_write(
+                            i, block, self._versions[row]
+                        )
+                    else:
+                        version = self._versions[row] + 1
+                    self._versions[row] = version
+                    self._upd_count[row] += 1
+                    sharers.add(i)
+                    self._record_inval_count(0, block, i)
+                    self._send_at(
+                        done,
+                        CoherenceMessage(
+                            src=self.node, dst=i, kind=MsgKind.WUP,
+                            block=block, requester=i, version=version,
+                            n_invals=len(others), src_is_cache=False,
+                            trace=msg.trace,
+                        ),
+                    )
+                    for sharer in others:
+                        self._c_updates_sent.inc()
+                        self._send_at(
+                            done,
+                            CoherenceMessage(
+                                src=self.node, dst=sharer, kind=MsgKind.UPD,
+                                block=block, requester=i, version=version,
+                                src_is_cache=False, trace=msg.trace,
+                            ),
+                        )
+                    return
+                # Competitive budget exhausted: this line's sharers are
+                # not reading the updates, so invalidate instead.
+                self._c_update_fallbacks.inc()
+                self._upd_count[row] = 0
+        self._process_read_exclusive(row, msg)
 
     # ------------------------------------------------------------------
     # Owner responses

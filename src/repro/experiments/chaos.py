@@ -1,6 +1,7 @@
 """Chaos sweeps: does the protocol survive a hostile machine?
 
-A chaos run executes each workload under both protocols (W-I and AD)
+A chaos run executes each workload under every protocol in the family
+(W-I, AD, MESI, Dragon, and the competitive hybrid by default)
 across a ladder of fault intensities (see
 :class:`~repro.faults.plan.FaultConfig`), with the progress watchdog
 armed.  Every cell must finish with the coherence checker clean — faults
@@ -26,6 +27,7 @@ from repro.experiments.parallel import RunSpec, run_many
 from repro.faults import plan as fault_plan
 from repro.faults.plan import FaultConfig
 from repro.machine.config import MachineConfig
+from repro.protocols import default_policies
 from repro.stats.report import format_table
 
 #: Default sweep coordinates: one migratory-heavy application model and
@@ -36,10 +38,9 @@ DEFAULT_INTENSITIES: Tuple[float, ...] = (0.0, 0.25, 0.5, 1.0)
 #: only a genuine livelock trips it.
 DEFAULT_WATCHDOG: int = 200_000
 
-_POLICIES: Tuple[ProtocolPolicy, ...] = (
-    ProtocolPolicy.write_invalidate(),
-    ProtocolPolicy.adaptive_default(),
-)
+def _default_policies() -> Tuple[ProtocolPolicy, ...]:
+    """Every registered protocol's default policy (the full family)."""
+    return tuple(default_policies())
 
 
 @dataclass
@@ -91,6 +92,8 @@ class ChaosReport:
     seed: int
     watchdog: int
     cells: List[ChaosCell] = field(default_factory=list)
+    #: Policy display names in sweep order (W-I/AD only in legacy reports).
+    policies: List[str] = field(default_factory=lambda: ["W-I", "AD"])
 
     @property
     def all_ok(self) -> bool:
@@ -113,6 +116,7 @@ class ChaosReport:
             "preset": self.preset,
             "seed": self.seed,
             "watchdog": self.watchdog,
+            "policies": self.policies,
             "all_ok": self.all_ok,
             "cells": [cell.to_json() for cell in self.cells],
         }
@@ -121,7 +125,7 @@ class ChaosReport:
         headers = ["workload", "policy"] + [f"i={i:g}" for i in self.intensities]
         rows = []
         for workload in self.workloads:
-            for policy in ("W-I", "AD"):
+            for policy in self.policies:
                 row: List[Any] = [workload, policy]
                 for intensity in self.intensities:
                     c = self.cell(workload, policy, intensity)
@@ -185,11 +189,12 @@ def chaos_specs(
     seed: int = 42,
     watchdog: int = DEFAULT_WATCHDOG,
     check_coherence: bool = True,
+    policies: Optional[Sequence[ProtocolPolicy]] = None,
 ) -> List[RunSpec]:
     """The spec grid, ordered workload-major then policy then intensity."""
     specs: List[RunSpec] = []
     for workload in workloads:
-        for policy in _POLICIES:
+        for policy in (policies or _default_policies()):
             for intensity in intensities:
                 faults = (
                     FaultConfig(seed=seed, intensity=intensity)
@@ -223,10 +228,12 @@ def run_chaos(
     workers: int = 1,
     check_coherence: bool = True,
     store=None,
+    policies: Optional[Sequence[ProtocolPolicy]] = None,
 ) -> ChaosReport:
     """Run the full chaos grid and assemble the survival report."""
     workloads = list(workloads)
     intensities = sorted(set(intensities))
+    chosen = tuple(policies or _default_policies())
     specs = chaos_specs(
         workloads,
         intensities,
@@ -234,6 +241,7 @@ def run_chaos(
         seed=seed,
         watchdog=watchdog,
         check_coherence=check_coherence,
+        policies=chosen,
     )
     outcomes = run_many(specs, workers=workers, store=store)
     report = ChaosReport(
@@ -242,10 +250,11 @@ def run_chaos(
         preset=preset,
         seed=seed,
         watchdog=watchdog,
+        policies=[policy.name for policy in chosen],
     )
     index = 0
     for workload in workloads:
-        for policy in _POLICIES:
+        for policy in chosen:
             baseline: Optional[ChaosCell] = None
             for intensity in intensities:
                 outcome = outcomes[index]

@@ -3,9 +3,16 @@
 Every table/figure module in this package builds on two entry points:
 
 * :func:`run_workload` — one (workload, policy, consistency, cache) run;
-* :func:`compare_protocols` — the W-I vs AD pair for one workload, with
-  the paper's derived metrics (ETR, read-exclusive reduction, traffic
-  reduction, write-penalty reduction) as properties.
+* :func:`compare_protocols` — an N-way protocol comparison for one
+  workload, with the paper's derived metrics (ETR, read-exclusive
+  reduction, traffic reduction, write-penalty reduction) as properties.
+
+Comparisons default to the paper's (W-I, AD) pair; pass ``policies=``
+(any policies from :mod:`repro.protocols`, e.g.
+``default_policies()`` for the full five-protocol family) for wider
+tables.  The first policy is the baseline and the second the contender
+for the pairwise derived metrics; every result is reachable through
+``ProtocolComparison.results``.
 
 Both route through :mod:`repro.experiments.parallel`, so every entry
 point takes ``workers=`` to fan its independent runs out over processes;
@@ -15,7 +22,7 @@ point takes ``workers=`` to fan its independent runs out over processes;
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
@@ -56,13 +63,36 @@ def run_workload(
     return machine.run(wl.programs())
 
 
+#: The paper's default comparison pair.
+DEFAULT_COMPARE_POLICIES = (
+    ProtocolPolicy.write_invalidate(),
+    ProtocolPolicy.adaptive_default(),
+)
+
+
 @dataclass
 class ProtocolComparison:
-    """W-I vs AD on the same workload and machine."""
+    """Protocols compared on the same workload and machine.
+
+    ``wi``/``ad`` are the baseline and contender (the paper's W-I vs AD
+    by default; the first two policies of an N-way comparison
+    otherwise) — the pairwise derived metrics below compare those two.
+    Additional protocols land in ``extras``; ``results`` exposes the
+    full N-way table keyed by policy name.
+    """
 
     workload: str
     wi: RunResult
     ad: RunResult
+    #: Results beyond the baseline/contender pair, keyed by policy name.
+    extras: Dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def results(self) -> Dict[str, RunResult]:
+        """All results keyed by policy name, in comparison order."""
+        table = {self.wi.policy_name: self.wi, self.ad.policy_name: self.ad}
+        table.update(self.extras)
+        return table
 
     @property
     def execution_time_ratio(self) -> float:
@@ -123,9 +153,11 @@ def comparison_specs(
     config: Optional[MachineConfig] = None,
     check_coherence: bool = True,
     seed: int = 42,
+    policies: Optional[Sequence[ProtocolPolicy]] = None,
     **workload_overrides,
 ) -> List[RunSpec]:
-    """The (W-I, AD) spec pair for one workload with identical parameters."""
+    """One spec per compared policy (default: the paper's W-I, AD pair)
+    for one workload with identical parameters."""
     return [
         RunSpec.make(
             workload, policy,
@@ -133,11 +165,22 @@ def comparison_specs(
             check_coherence=check_coherence, seed=seed,
             tag=f"{workload}/{policy.name}", **workload_overrides,
         )
-        for policy in (
-            ProtocolPolicy.write_invalidate(),
-            ProtocolPolicy.adaptive_default(),
-        )
+        for policy in (policies or DEFAULT_COMPARE_POLICIES)
     ]
+
+
+def _comparison_from(
+    workload: str, results: Sequence[RunResult]
+) -> ProtocolComparison:
+    """Package N ordered results as a ProtocolComparison."""
+    if len(results) < 2:
+        raise ValueError("a protocol comparison needs at least two policies")
+    return ProtocolComparison(
+        workload=workload,
+        wi=results[0],
+        ad=results[1],
+        extras={r.policy_name: r for r in results[2:]},
+    )
 
 
 def compare_protocols(
@@ -151,25 +194,29 @@ def compare_protocols(
     workers: int = 1,
     store=None,
     run_kwargs: Optional[dict] = None,
+    policies: Optional[Sequence[ProtocolPolicy]] = None,
     **workload_overrides,
 ) -> ProtocolComparison:
-    """Run a workload under both W-I and AD with identical parameters.
+    """Run a workload under N protocols with identical parameters.
 
-    ``workers=2`` runs the two independent simulations concurrently.
-    ``run_kwargs`` passes resilience options (timeout, max_attempts,
-    checkpoint, backend, ...) through to :func:`run_many`.
+    The default is the paper's W-I vs AD pair; ``policies`` widens the
+    comparison (first = baseline, second = contender for the pairwise
+    metrics).  ``workers=N`` runs the independent simulations
+    concurrently.  ``run_kwargs`` passes resilience options (timeout,
+    max_attempts, checkpoint, backend, ...) through to :func:`run_many`.
     """
     specs = comparison_specs(
         workload, preset=preset, consistency=consistency, config=config,
-        check_coherence=check_coherence, seed=seed, **workload_overrides,
+        check_coherence=check_coherence, seed=seed, policies=policies,
+        **workload_overrides,
     )
-    wi, ad = [
+    results = [
         outcome.unwrap()
         for outcome in run_many(
             specs, workers=workers, store=store, **(run_kwargs or {})
         )
     ]
-    return ProtocolComparison(workload=workload, wi=wi, ad=ad)
+    return _comparison_from(workload, results)
 
 
 def compare_many(
@@ -182,27 +229,32 @@ def compare_many(
     seed: int = 42,
     workers: int = 1,
     store=None,
+    policies: Optional[Sequence[ProtocolPolicy]] = None,
     **run_kwargs,
 ) -> Dict[str, ProtocolComparison]:
-    """W-I vs AD for several workloads, fanned out over one worker pool.
+    """The N-way comparison for several workloads over one worker pool.
 
-    All ``2 * len(workloads)`` runs are independent, so the pool drains
-    them together instead of pairing serially per workload.  Extra
-    keyword arguments (timeout, max_attempts, checkpoint, backend, ...)
-    pass through to :func:`run_many`.
+    All ``len(policies) * len(workloads)`` runs are independent, so the
+    pool drains them together instead of pairing serially per workload.
+    Extra keyword arguments (timeout, max_attempts, checkpoint,
+    backend, ...) pass through to :func:`run_many`.
     """
+    chosen = tuple(policies or DEFAULT_COMPARE_POLICIES)
     specs: List[RunSpec] = []
     for name in workloads:
         specs.extend(
             comparison_specs(
                 name, preset=preset, consistency=consistency, config=config,
-                check_coherence=check_coherence, seed=seed,
+                check_coherence=check_coherence, seed=seed, policies=chosen,
             )
         )
     outcomes = run_many(specs, workers=workers, store=store, **run_kwargs)
+    stride = len(chosen)
     comparisons = {}
     for index, name in enumerate(workloads):
-        wi = outcomes[2 * index].unwrap()
-        ad = outcomes[2 * index + 1].unwrap()
-        comparisons[name] = ProtocolComparison(workload=name, wi=wi, ad=ad)
+        results = [
+            outcomes[stride * index + offset].unwrap()
+            for offset in range(stride)
+        ]
+        comparisons[name] = _comparison_from(name, results)
     return comparisons

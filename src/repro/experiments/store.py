@@ -37,12 +37,13 @@ import hashlib
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.consistency.models import ConsistencyModel, model_by_name
 from repro.core.policy import ProtocolPolicy
+from repro.protocols import policy_for
 from repro.experiments.parallel import (
     RunOutcome,
     RunSpec,
@@ -103,6 +104,8 @@ def spec_to_json(spec: RunSpec) -> Dict[str, Any]:
             "adaptive": spec.policy.adaptive,
             "rxq_reverts_to_ordinary": spec.policy.rxq_reverts_to_ordinary,
             "nomig_enabled": spec.policy.nomig_enabled,
+            "protocol": spec.policy.protocol,
+            "update_threshold": spec.policy.update_threshold,
         },
         "preset": spec.preset,
         "consistency": {
@@ -123,12 +126,15 @@ def spec_from_json(doc: Dict[str, Any]) -> RunSpec:
     """Rebuild a spec from :func:`spec_to_json` output.
 
     Accepts two client-friendly shorthands alongside the full wire form:
-    ``"policy": "AD"`` (``"W-I"``, ``"AD"``) and
-    ``"consistency": "SC"`` (any registered model name).
+    ``"policy": "AD"`` (any registered protocol name or alias — "W-I",
+    "AD", "mesi", "dragon", "hybrid", ...) and ``"consistency": "SC"``
+    (any registered model name).  Legacy policy objects without the
+    ``protocol``/``update_threshold`` fields deserialize to the matching
+    W-I/AD policy via the dataclass defaults.
     """
     policy = doc.get("policy") or {}
     if isinstance(policy, str):
-        policy = {"adaptive": policy.upper() not in ("W-I", "WI")}
+        policy = asdict(policy_for(policy))
     consistency = doc.get("consistency", "SC")
     if isinstance(consistency, str):
         model = model_by_name(consistency)

@@ -87,7 +87,16 @@ class DiagnosticDump:
                 f"  node {m['node']:>2} block {m['block']}: {m['op']}"
                 f"{' upgrade' if m.get('upgrade') else ''}"
                 f"{' prefetch' if m.get('prefetch') else ''}"
-                f" age={m.get('age', '?')}"
+                # Update-protocol transients: the write already serialized
+                # at home (waiting on Uacks), or a raced Upd outran the
+                # fill and pinned a newer version.
+                f"{' committed' if m.get('committed') else ''}"
+                + (
+                    f" upd_version={m['update_version']}"
+                    if m.get("update_version")
+                    else ""
+                )
+                + f" age={m.get('age', '?')}"
                 f" data={'yes' if m.get('data_received') else 'no'}"
                 f" acks={m.get('acks_received', 0)}/{m.get('acks_expected')}"
                 f" waiters={m.get('waiters', 0)} deferred={m.get('deferred', 0)}"
@@ -103,12 +112,14 @@ class DiagnosticDump:
                 if inflight
                 else ""
             )
+            upd_count = t.get("upd_count", 0)
             lines.append(
                 f"  home {t['home']:>2} block {t['block']}: {t['state']}"
                 f" owner={t.get('owner')}"
                 f"{' busy' if t.get('busy') else ''}"
                 f"{' awaiting_wb' if t.get('awaiting_wb') else ''}"
-                f"{inflight_txt}"
+                + (f" upd_count={upd_count}" if upd_count else "")
+                + f"{inflight_txt}"
                 f" pending=[{pending}]"
             )
         lines.append(f"in-flight messages ({len(self.messages)}):")

@@ -139,7 +139,8 @@ class Machine:
         self.directories = [
             DirectoryController(
                 n, self.sim, self.transport, self.memories[n], cfg.policy,
-                self.counters, profiler=self.block_profiler, tracer=self.tracer,
+                self.counters, checker=self.checker,
+                profiler=self.block_profiler, tracer=self.tracer,
             )
             for n in range(cfg.num_nodes)
         ]

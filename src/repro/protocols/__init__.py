@@ -1,0 +1,41 @@
+"""Pluggable coherence protocols.
+
+A protocol is a behavior object behind a stable controller/directory
+interface (:mod:`repro.protocols.base`); the registered family
+(:mod:`repro.protocols.family`) covers the paper's W-I/AD pair plus
+MESI, Dragon write-update, and the competitive update/invalidate
+hybrid.  Resolve names with :func:`get_protocol` / :func:`policy_for`;
+controllers bind behavior with :func:`behavior_for`.
+"""
+
+from repro.protocols.base import Protocol
+from repro.protocols.family import (
+    AdaptiveMigratory,
+    Dragon,
+    Hybrid,
+    Mesi,
+    WriteInvalidate,
+)
+from repro.protocols.registry import (
+    available_protocols,
+    behavior_for,
+    default_policies,
+    get_protocol,
+    policy_for,
+    register_protocol,
+)
+
+__all__ = [
+    "AdaptiveMigratory",
+    "Dragon",
+    "Hybrid",
+    "Mesi",
+    "Protocol",
+    "WriteInvalidate",
+    "available_protocols",
+    "behavior_for",
+    "default_policies",
+    "get_protocol",
+    "policy_for",
+    "register_protocol",
+]

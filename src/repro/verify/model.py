@@ -2,10 +2,11 @@
 
 The timed simulator exercises the protocol along whichever interleavings
 its (deterministic) event order produces; this module re-states the same
-protocol — W-I base plus the adaptive extension — as a nondeterministic
-transition system over ONE memory block, a home directory, and N caches,
-so that *every* reachable interleaving can be enumerated and checked
-(:mod:`repro.verify.checker`).
+protocol family — W-I base, the adaptive extension, MESI exclusive
+grants, Dragon write-update, and the competitive hybrid — as a
+nondeterministic transition system over ONE memory block, a home
+directory, and N caches, so that *every* reachable interleaving can be
+enumerated and checked (:mod:`repro.verify.checker`).
 
 Faithfulness to the implementation:
 
@@ -16,7 +17,12 @@ Faithfulness to the implementation:
 * caches acknowledge invalidations immediately (consume-once shared
   fills), defer forwards behind their own outstanding transaction unless
   a writeback is in flight, and hold migrated lines unreplaceable until
-  home's MIack.
+  home's MIack;
+* update protocols (Dragon/hybrid) commit stores at the home: a Wu in
+  SR bumps home's version, replies Wup to the writer (who stays a
+  sharer) and Upd to every other sharer, each acked with Uack; the
+  hybrid falls back to the invalidate flow once the per-line update
+  counter passes the policy threshold, and a consumer read resets it.
 
 Every state is an immutable tuple, so the checker can hash and dedupe.
 Processor behaviour is bounded: each cache may nondeterministically
@@ -30,6 +36,7 @@ from typing import Dict, FrozenSet, Iterator, List, NamedTuple, Optional, Tuple
 
 from repro.core.detection import should_nominate
 from repro.core.policy import ProtocolPolicy
+from repro.protocols import behavior_for
 
 # ----------------------------------------------------------------------
 # Message and state vocabulary (mirrors repro.coherence.messages/states)
@@ -40,8 +47,9 @@ RR, RXQ, FWD_RR, FWD_RXQ, MR, RP, RXP, MACK, INV, IACK = (
 SW, DT, XFER, NOMIG, NAK, WB, WACK, MIACK = (
     "Sw", "DT", "Xfer", "NoMig", "Nak", "Wb", "Wack", "MIack",
 )
+WU, WUP, UPD, UACK = "Wu", "Wup", "Upd", "Uack"
 
-REPLY_NET = frozenset({RP, RXP, MACK, IACK, SW, NOMIG, WB, NAK})
+REPLY_NET = frozenset({RP, RXP, MACK, IACK, SW, NOMIG, WB, NAK, WUP, UACK})
 
 U, SR, DR, MD, MU = "U", "SR", "DR", "MD", "MU"  # directory states
 I, S, D, M = "I", "S", "D", "M"  # cache line states
@@ -74,6 +82,8 @@ class Mshr(NamedTuple):
     inval_on_fill: bool = False
     miack_needed: bool = False
     miack_got: bool = False
+    committed: bool = False  # write already serialized at home (Wup fill)
+    upd_version: int = 0     # newest Upd that raced the fill
 
 
 class CacheSt(NamedTuple):
@@ -96,6 +106,7 @@ class HomeSt(NamedTuple):
     awaiting_wb: bool = False
     inflight: Tuple = ()            # (kind, requester, demote) or ()
     pending: Tuple = ()             # queued (kind, requester)
+    upd_count: int = 0              # unconsumed updates (hybrid fallback)
 
 
 class State(NamedTuple):
@@ -153,6 +164,10 @@ class ProtocolModel:
         self.num_caches = num_caches
         self.ops = ops
         self.policy = policy or ProtocolPolicy.adaptive_default()
+        self.protocol = behavior_for(self.policy)
+        self._grant_exclusive = self.protocol.grant_exclusive_on_read
+        self._clean_exclusive = self.protocol.clean_exclusive
+        self._is_update = self.protocol.is_update
 
     # ------------------------------------------------------------------
     def initial(self) -> State:
@@ -203,9 +218,10 @@ class ProtocolModel:
             yield f"c{node}.write-hit", self._set_cache(committed, node, new_line)
         else:
             mshr = Mshr(is_write=True)
+            store_kind = WU if self._is_update else RXQ
             new = self._set_cache(state, node, spent._replace(mshr=mshr))
             new = new._replace(
-                channels=push(new.channels, Msg(RXQ, node, HOME, node))
+                channels=push(new.channels, Msg(store_kind, node, HOME, node))
             )
             yield f"c{node}.write-miss", new
         # Eviction (replacement): silent for shared, writeback for owned.
@@ -238,7 +254,7 @@ class ProtocolModel:
     def _home_handle(self, state: State, msg: Msg) -> State:
         home = state.home
         kind = msg.kind
-        if kind in (RR, RXQ):
+        if kind in (RR, RXQ, WU):
             if home.busy:
                 return state._replace(
                     home=home._replace(pending=home.pending + ((kind, msg.requester),))
@@ -319,7 +335,25 @@ class ProtocolModel:
 
     def _home_process(self, state: State, kind: str, requester: int) -> State:
         home = state.home
+        if kind == WU:
+            return self._home_process_wu(state, requester)
         if kind == RR:
+            # A consumer read resets the hybrid's unconsumed-update count.
+            if self._is_update and home.upd_count:
+                home = home._replace(upd_count=0)
+                state = state._replace(home=home)
+            if home.dir == U and self._grant_exclusive:
+                home = home._replace(
+                    dir=DR, owner=requester, sharers=frozenset(), lw=requester
+                )
+                return state._replace(
+                    home=home,
+                    channels=push(
+                        state.channels,
+                        Msg(MACK, HOME, requester, requester,
+                            version=home.version, miack_needed=False),
+                    ),
+                )
             if home.dir in (U, SR):
                 sharers = home.sharers | {requester}
                 lw = -2 if len(sharers) > 2 else home.lw
@@ -413,6 +447,44 @@ class ProtocolModel:
                 )
         raise ProtocolViolation(f"unhandled {kind} in {home.dir}")
 
+    def _home_process_wu(self, state: State, requester: int) -> State:
+        """A write under an update protocol: commit at home and push
+        updates, or (hybrid past its threshold) fall back to invalidate."""
+        home = state.home
+        if home.dir == SR:
+            others = home.sharers - {requester}
+            if others and self.protocol.use_update(len(others), home.upd_count):
+                if home.version != state.latest:
+                    raise ProtocolViolation(
+                        f"update commit on stale home version {home.version}, "
+                        f"latest is {state.latest}"
+                    )
+                version = state.latest + 1
+                home = home._replace(
+                    version=version,
+                    upd_count=home.upd_count + 1,
+                    sharers=home.sharers | {requester},
+                )
+                msgs = [
+                    Msg(WUP, HOME, requester, requester,
+                        version=version, n_invals=len(others))
+                ]
+                msgs += [
+                    Msg(UPD, HOME, s, requester, version=version)
+                    for s in sorted(others)
+                ]
+                return state._replace(
+                    latest=version,
+                    home=home,
+                    channels=push_all(state.channels, msgs),
+                )
+            if others:
+                # Threshold exceeded: reset and take the invalidate flow.
+                state = state._replace(home=home._replace(upd_count=0))
+        # Uncached, sole-sharer upgrade, or owned elsewhere: the ordinary
+        # read-exclusive flow handles every one of those cases.
+        return self._home_process(state, RXQ, requester)
+
     def _forward(self, state, fwd_kind, requester, demote, for_write=False):
         home = state.home._replace(
             busy=True,
@@ -470,7 +542,31 @@ class ProtocolModel:
                 acks_expected=0, miack_needed=msg.miack_needed,
             )
             return self._maybe_retire(state, node, cache._replace(mshr=mshr))
-        if kind == IACK:
+        if kind == WUP:
+            mshr = cache.mshr._replace(
+                data=True, fill=S, version=msg.version,
+                acks_expected=msg.n_invals, committed=True,
+            )
+            return self._maybe_retire(state, node, cache._replace(mshr=mshr))
+        if kind == UPD:
+            if cache.line == S:
+                if msg.version > cache.version:
+                    cache = cache._replace(version=msg.version)
+            elif cache.line in (D, M) and msg.version > cache.version:
+                raise ProtocolViolation(
+                    f"update v{msg.version} hit writable line at cache {node}"
+                )
+            if cache.mshr is not None and msg.version > cache.mshr.upd_version:
+                cache = cache._replace(
+                    mshr=cache.mshr._replace(upd_version=msg.version)
+                )
+            new = self._set_cache(state, node, cache)
+            return new._replace(
+                channels=push(
+                    new.channels, Msg(UACK, node, msg.requester, msg.requester)
+                )
+            )
+        if kind in (IACK, UACK):
             mshr = cache.mshr._replace(acks_got=cache.mshr.acks_got + 1)
             return self._maybe_retire(state, node, cache._replace(mshr=mshr))
         if kind == MIACK:
@@ -485,7 +581,9 @@ class ProtocolModel:
                 cache = cache._replace(line=I, version=0)
             elif cache.line in (D, M):
                 raise ProtocolViolation(f"Inv hit owned line at cache {node}")
-            if cache.mshr is not None and not cache.mshr.is_write:
+            if cache.mshr is not None and (
+                not cache.mshr.is_write or self._is_update
+            ):
                 cache = cache._replace(
                     mshr=cache.mshr._replace(inval_on_fill=True)
                 )
@@ -515,8 +613,9 @@ class ProtocolModel:
             raise ProtocolViolation(
                 f"forward {msg.kind} to cache {node} with no copy or writeback"
             )
+        owned = (D, M) if self._clean_exclusive else (D,)
         if msg.kind == FWD_RR:
-            if cache.line != D:
+            if cache.line not in owned:
                 raise ProtocolViolation(f"FwdRr hit {cache.line} at {node}")
             msgs = [
                 Msg(RP, node, msg.requester, msg.requester, version=cache.version),
@@ -524,7 +623,7 @@ class ProtocolModel:
             ]
             cache = cache._replace(line=S)
         elif msg.kind == FWD_RXQ:
-            if cache.line != D:
+            if cache.line not in owned:
                 raise ProtocolViolation(f"FwdRxq hit {cache.line} at {node}")
             msgs = [
                 Msg(RXP, node, msg.requester, msg.requester,
@@ -564,7 +663,9 @@ class ProtocolModel:
             return self._set_cache(state, node, cache)
         if mshr.is_write and mshr.acks_expected < 0:
             return self._set_cache(state, node, cache)
-        # Retire.
+        # Retire.  A raced Upd can carry a newer version than the fill;
+        # versions only move forward.
+        fill_version = max(mshr.version, mshr.upd_version)
         consume_once = mshr.inval_on_fill and mshr.fill == S
         if consume_once:
             cache = cache._replace(line=I, version=0, mshr=None)
@@ -572,11 +673,11 @@ class ProtocolModel:
         else:
             locked = mshr.miack_needed and not mshr.miack_got
             cache = cache._replace(
-                line=mshr.fill, version=mshr.version, locked=locked, mshr=None
+                line=mshr.fill, version=fill_version, locked=locked, mshr=None
             )
             state = self._set_cache(state, node, cache)
-            if mshr.is_write:
-                state = self._commit_write(state, node, mshr.version)
+            if mshr.is_write and not mshr.committed:
+                state = self._commit_write(state, node, fill_version)
                 cache = state.caches[node]._replace(version=state.latest)
                 state = self._set_cache(state, node, cache)
         # Serve deferred forwards in order.

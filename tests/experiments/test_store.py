@@ -99,6 +99,42 @@ def test_spec_wire_round_trip_preserves_key():
     assert spec_key(rebuilt) == spec_key(spec)
 
 
+def _protocol_spec(policy):
+    return RunSpec.make(
+        "migratory-counters", policy, preset="tiny", seed=7, iterations=6
+    )
+
+
+def test_protocol_field_perturbs_key():
+    """Every protocol in the family content-addresses differently."""
+    from repro.protocols import default_policies
+
+    keys = {spec_key(_protocol_spec(p)) for p in default_policies()}
+    assert len(keys) == len(default_policies())
+    # The hybrid's threshold is behavioural, so it is part of the key too.
+    assert spec_key(
+        _protocol_spec(ProtocolPolicy.hybrid(update_threshold=4))
+    ) != spec_key(_protocol_spec(ProtocolPolicy.hybrid()))
+
+
+def test_legacy_policy_dict_does_not_alias_new_protocols():
+    """Pre-framework wire dicts (no ``protocol``/``update_threshold``
+    fields) must deserialize to the W-I/AD family and never collide with
+    a new protocol's content address."""
+    from repro.protocols import policy_for
+
+    doc = spec_to_json(mig_spec())
+    doc["policy"] = {
+        key: doc["policy"][key]
+        for key in ("adaptive", "rxq_reverts_to_ordinary", "nomig_enabled")
+    }
+    legacy = spec_from_json(json.loads(json.dumps(doc)))
+    assert legacy.policy == ProtocolPolicy.adaptive_default()
+    assert spec_key(legacy) == spec_key(mig_spec())
+    for name in ("mesi", "dragon", "hybrid"):
+        assert spec_key(legacy) != spec_key(_protocol_spec(policy_for(name)))
+
+
 def test_spec_from_json_accepts_shorthand_names():
     doc = {
         "workload": "migratory-counters",

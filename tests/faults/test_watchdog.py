@@ -98,6 +98,44 @@ def test_drained_queue_reports_deadlock_with_dump():
     assert "never finished" in str(exc.value)
 
 
+def test_update_protocol_stall_renders_committed_mshr():
+    """A Dragon write wedged between home-commit and its Uacks must be
+    legible in the dump: the MSHR shows ``committed`` with the ack
+    shortfall, so the triage points at the lost update, not the fill."""
+    from repro.core.policy import ProtocolPolicy
+
+    machine = Machine(
+        MachineConfig.dash_default(policy=ProtocolPolicy.dragon())
+    )
+    swallowed = []
+    real = machine.transport._cache_handlers[1]
+
+    def wrapper(msg):
+        if msg.kind is MsgKind.UPD:
+            swallowed.append(msg)
+            return
+        real(msg)
+
+    machine.transport.register_cache(1, wrapper)
+    # Both caches share the line before node 0's write fires the update.
+    per_node = {
+        0: [Read(ADDR), Barrier(0), Barrier(1), Write(ADDR)],
+        1: [Barrier(0), Read(ADDR), Barrier(1)],
+    }
+    for n in range(machine.config.num_nodes):
+        per_node.setdefault(n, [Barrier(0), Barrier(1)])
+    with pytest.raises(DeadlockError) as exc:
+        machine.run([iter(per_node[n]) for n in range(machine.config.num_nodes)])
+    assert swallowed, "the induced fault never fired"
+    dump = exc.value.dump
+    stuck = [m for m in dump.mshrs if m["node"] == 0 and m["block"] == BLOCK]
+    assert stuck and stuck[0]["committed"]
+    assert stuck[0]["acks_received"] < stuck[0]["acks_expected"]
+    text = dump.render()
+    assert "committed" in text
+    assert f"block {BLOCK}" in text
+
+
 def test_watchdog_silent_on_a_healthy_run():
     machine = Machine(MachineConfig.dash_default(watchdog_window=5_000))
     per_node = {0: [Write(ADDR)], 1: [Read(ADDR)]}

@@ -2,11 +2,14 @@
 
 ``golden_tiny.json`` records every deterministic observable (execution
 time, event count, traffic, all protocol counters, per-kind message
-counts) of the MP3D and Cholesky tiny runs under W-I and AD, captured
-before the event-core overhaul.  Any optimization of the simulator's hot
-paths — queue layout, message pooling, counter storage — must reproduce
-these numbers exactly; a mismatch means simulated *behaviour* changed,
-not just speed.
+counts) of the MP3D and Cholesky tiny runs under the full protocol
+family.  The W-I and AD entries were captured before the event-core
+overhaul and have survived it and the protocol-framework refactor
+unchanged; the MESI/Dragon/Hybrid entries pin the new protocols from
+their first release.  Any optimization of the simulator's hot paths —
+queue layout, message pooling, counter storage — must reproduce these
+numbers exactly; a mismatch means simulated *behaviour* changed, not
+just speed.
 
 Refreshing the goldens is a deliberate act (a protocol or timing-model
 change): regenerate each entry with the spec below and explain the delta
@@ -26,6 +29,9 @@ GOLDEN_PATH = Path(__file__).parent / "golden_tiny.json"
 POLICIES = {
     "W-I": ProtocolPolicy.write_invalidate(),
     "AD": ProtocolPolicy.adaptive_default(),
+    "MESI": ProtocolPolicy.mesi(),
+    "Dragon": ProtocolPolicy.dragon(),
+    "Hybrid": ProtocolPolicy.hybrid(),
 }
 
 
@@ -54,3 +60,43 @@ def test_golden_run_matches(label):
             f"{label}: {key} diverged from golden "
             f"(simulated behaviour changed, not just speed)"
         )
+
+
+@pytest.mark.parametrize("policy_name", ["MESI", "Dragon", "Hybrid"])
+def test_new_protocols_deterministic_across_processes(policy_name):
+    """A fresh interpreter reproduces the mp3d golden byte-for-byte.
+
+    The golden file pins this process's results; running the same spec
+    in a subprocess proves nothing about the numbers depends on
+    accumulated interpreter state (hash seeds, import order, pools).
+    """
+    import os
+    import subprocess
+    import sys
+
+    label = f"mp3d/{policy_name}"
+    want = _golden()[label]
+    script = (
+        "import json\n"
+        "from repro.protocols import policy_for\n"
+        "from repro.experiments.parallel import RunSpec, execute_spec\n"
+        f"spec = RunSpec.make('mp3d', policy_for({policy_name!r}),"
+        " preset='tiny', check_coherence=True)\n"
+        "result = execute_spec(spec).unwrap()\n"
+        "print(json.dumps({\n"
+        "    'execution_time': result.execution_time,\n"
+        "    'events_processed': result.events_processed,\n"
+        "    'network_bits': result.network_bits,\n"
+        "    'network_messages': result.network_messages,\n"
+        "    'counters': result.counters.as_dict(),\n"
+        "    'count_by_kind': result.count_by_kind,\n"
+        "}))\n"
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    assert json.loads(proc.stdout) == want
