@@ -13,6 +13,7 @@ Examples::
     repro-sim sharing migratory-counters
     repro-sim chaos mp3d --intensities 0,0.5 --preset tiny
     repro-sim serve --port 8787 --workers 4
+    repro-sim top --url http://127.0.0.1:8787
     repro-sim cache stats
     repro-sim list
 
@@ -226,6 +227,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.faults import ServeFaultPlan
     from repro.serve.server import run_server
 
+    if getattr(args, "log", None):
+        import os
+
+        from repro.obs.log import LOG_ENV, configure_from_env
+
+        # Export so worker processes (fork or spawn) log with the same
+        # sink — correlation ids only pay off if all three tiers emit.
+        os.environ[LOG_ENV] = args.log
+        configure_from_env(args.log)
     store = ResultStore(args.cache_dir or default_cache_dir())
     workers = args.workers if args.workers else default_workers()
     faults = None
@@ -248,6 +258,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over a serve daemon's /metrics + /stats."""
+    import os
+
+    from repro.experiments.parallel import SERVE_URL_ENV
+    from repro.serve.top import run_top
+
+    url = args.url or os.environ.get(SERVE_URL_ENV) or "http://127.0.0.1:8787"
+    return run_top(
+        url,
+        interval=args.interval,
+        once=args.once,
+        iterations=args.iterations,
+    )
 
 
 def _parse_size(text: str) -> int:
@@ -491,6 +517,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         compare_bench_results,
         diff_bench,
+        host_warnings,
         load_bench,
         render_bench,
         run_bench_suite,
@@ -514,6 +541,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if baseline is not None:
         print()
         print(diff_bench(baseline, doc))
+        # Snapshots from a different host are still gate-worthy on
+        # *results* (they're host-independent), but their timings are
+        # apples-to-oranges — warn instead of silently diffing them.
+        for warning in host_warnings(baseline, doc):
+            print(f"  host mismatch: {warning}")
         # Soft gate: timing deltas above only inform; *simulation results*
         # (execution times, event counts, counters) must match exactly.
         mismatches = compare_bench_results(baseline, doc)
@@ -868,7 +900,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "(exercises client stream resumption)")
     serve_p.add_argument("--fault-seed", type=int, default=0,
                          help="seed for the fault plan's deterministic draws")
+    serve_p.add_argument("--log", default=None, metavar="DEST",
+                         help="structured JSON event log: 'stderr' (or '-') "
+                              "or a file path to append to (also settable "
+                              "via $REPRO_LOG)")
     serve_p.set_defaults(func=_cmd_serve)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live terminal dashboard for a serve daemon "
+             "(polls /metrics + /stats)",
+    )
+    top_p.add_argument("--url", default=None, metavar="URL",
+                       help="daemon base URL (default $REPRO_SIM_SERVE or "
+                            "http://127.0.0.1:8787)")
+    top_p.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                       help="refresh interval (default 2s)")
+    top_p.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (no screen clear)")
+    top_p.add_argument("--iterations", type=int, default=None, metavar="N",
+                       help="render N frames then exit (scripting/CI)")
+    top_p.set_defaults(func=_cmd_top)
 
     cache_p = sub.add_parser(
         "cache", help="inspect, prune, or clear the persistent result cache"

@@ -259,6 +259,39 @@ def compare_bench_results(old: dict, new: dict) -> List[str]:
     return problems
 
 
+def host_warnings(old: dict, new: dict) -> List[str]:
+    """Human-readable warnings when two snapshots came from different hosts.
+
+    Simulation *results* are host-independent and stay gate-worthy across
+    machines, but wall-time comparisons between different CPUs, platforms,
+    Python versions, or fast-path variants are apples-to-oranges — the CLI
+    prints these warnings next to the timing diff so nobody chases a
+    "regression" that is actually a hardware change.  Returns one line per
+    mismatched field; empty list = comparable hosts.
+    """
+    warnings: List[str] = []
+    old_host = old.get("host") or {}
+    new_host = new.get("host") or {}
+    for field, label in (
+        ("cpu_count", "CPU count"),
+        ("platform", "platform"),
+        ("python", "Python"),
+    ):
+        old_value, new_value = old_host.get(field), new_host.get(field)
+        if old_value != new_value:
+            warnings.append(
+                f"{label} {old_value!r} -> {new_value!r}; "
+                f"timing deltas are informational only"
+            )
+    old_fast, new_fast = old.get("fast_path"), new.get("fast_path")
+    if old_fast != new_fast:
+        warnings.append(
+            f"fast-path variant {old_fast!r} -> {new_fast!r}; "
+            f"timing deltas are informational only"
+        )
+    return warnings
+
+
 def timing_regressions(old: dict, new: dict, tolerance: float) -> List[str]:
     """Wall-time drift gate: runs slower by more than ``tolerance``.
 

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.experiments.store import code_version, spec_key
+from repro.obs import metrics as obs_metrics
 
 CHECKPOINT_SCHEMA = "repro-checkpoint/1"
 
@@ -191,3 +192,6 @@ class SweepCheckpoint:
             except OSError:
                 pass
             raise
+        obs_metrics.counter(
+            "repro_checkpoint_saves_total", "Sweep-checkpoint documents written."
+        ).inc()

@@ -70,6 +70,8 @@ from repro.consistency.models import ConsistencyModel, SEQUENTIAL_CONSISTENCY
 from repro.core.policy import ProtocolPolicy
 from repro.machine.config import MachineConfig
 from repro.machine.system import RunResult
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import correlation_scope, log_event, new_correlation_id
 
 #: Tags marking frozen containers inside ``RunSpec.overrides`` so the
 #: original value shape survives the hashable round trip.  (A workload
@@ -87,6 +89,34 @@ WORKER_CRASH = "WorkerCrash"
 #: Environment override for the default ``backend="serve"`` daemon URL.
 SERVE_URL_ENV = "REPRO_SIM_SERVE"
 _DEFAULT_SERVE_URL = "http://127.0.0.1:8787"
+
+_RUNMANY_METRICS: Optional[Dict[str, Any]] = None
+
+
+def _runmany_metrics() -> Dict[str, Any]:
+    """Sweep-runner instruments on the global registry, built once."""
+    global _RUNMANY_METRICS
+    if _RUNMANY_METRICS is None:
+        _RUNMANY_METRICS = {
+            "sweeps": obs_metrics.counter(
+                "repro_runmany_sweeps_total", "run_many batches executed."),
+            "cell_seconds": obs_metrics.histogram(
+                "repro_runmany_cell_seconds",
+                "Wall-clock seconds of one freshly simulated sweep cell."),
+            "timeouts": obs_metrics.counter(
+                "repro_runmany_timeouts_total",
+                "Cells failed on the per-cell wall-clock deadline."),
+            "pool_crashes": obs_metrics.counter(
+                "repro_runmany_pool_crashes_total",
+                "Retry rounds triggered by a poisoned worker pool."),
+            "retries": obs_metrics.counter(
+                "repro_runmany_retries_total",
+                "Cells resubmitted to a fresh pool after a crash."),
+            "backoffs": obs_metrics.counter(
+                "repro_runmany_backoffs_total",
+                "Backoff sleeps taken between retry rounds."),
+        }
+    return _RUNMANY_METRICS
 
 
 def backoff_delay(
@@ -301,6 +331,27 @@ def execute_spec(spec: RunSpec) -> RunOutcome:
             wall_time=time.perf_counter() - start,
         )
     return RunOutcome(spec=spec, result=result, wall_time=time.perf_counter() - start)
+
+
+def execute_spec_with_cid(spec: RunSpec, cid: str = "") -> RunOutcome:
+    """Worker entry point that binds a correlation id around the run.
+
+    The serve daemon submits cells through this so a worker's structured
+    log lines (``REPRO_LOG`` is inherited across the process boundary)
+    carry the same ``cid`` the client minted for the job.
+    """
+    with correlation_scope(cid):
+        log_event("worker", "run_started", cell=spec.label, pid=os.getpid())
+        outcome = execute_spec(spec)
+        log_event(
+            "worker",
+            "run_finished" if outcome.ok else "run_failed",
+            level="info" if outcome.ok else "error",
+            cell=spec.label,
+            wall_time_s=round(outcome.wall_time, 6),
+            error=str(outcome.error) if outcome.error else None,
+        )
+    return outcome
 
 
 def _execute_indexed(item: Tuple[int, RunSpec]) -> Tuple[int, RunOutcome]:
@@ -539,6 +590,7 @@ def _run_pooled(
     round completes, so an interrupt loses at most the in-flight round
     (everything delivered is already recorded/checkpointed).
     """
+    metrics = _runmany_metrics()
     remaining = list(pending)
     attempt = 0
     while remaining:
@@ -559,6 +611,9 @@ def _run_pooled(
         for index, outcome in completed:
             on_result(index, outcome)
         for index, spec in just_timed_out:
+            metrics["timeouts"].inc()
+            log_event("run_many", "cell_timeout", level="warning",
+                      cell=spec.label, timeout_s=timeout)
             on_result(index, _failed_outcome(
                 spec, CELL_TIMEOUT,
                 f"exceeded the {timeout}s per-cell wall-clock deadline",
@@ -570,6 +625,7 @@ def _run_pooled(
         # so neither this retry round nor a later run_many call can be
         # handed a broken executor.
         shutdown_pool()
+        metrics["pool_crashes"].inc()
         attempt += 1
         if attempt >= max_attempts:
             for index, spec in survivors:
@@ -580,21 +636,31 @@ def _run_pooled(
                 ))
             return
         if survivors:
+            metrics["retries"].inc(len(survivors))
+            metrics["backoffs"].inc()
+            log_event("run_many", "pool_retry", level="warning",
+                      attempt=attempt, cells=len(survivors))
             time.sleep(backoff_delay(attempt, key=f"run_many:{len(pending)}"))
         remaining = sorted(survivors, key=lambda item: item[0])
 
 
 def _run_via_serve(
-    specs: List[RunSpec], serve_url: Optional[str]
+    specs: List[RunSpec], serve_url: Optional[str], cid: str = ""
 ) -> Optional[List[RunOutcome]]:
     """Execute specs against a remote daemon, or None if it's unreachable."""
     from repro.serve.client import ServeClient, ServeUnavailable
 
     url = serve_url or os.environ.get(SERVE_URL_ENV) or _DEFAULT_SERVE_URL
-    client = ServeClient(url, retries=2)
+    client = ServeClient(url, retries=2, cid=cid)
     try:
         return client.run_many(specs)
     except ServeUnavailable as exc:
+        obs_metrics.counter(
+            "repro_client_fallbacks_total",
+            "backend=serve sweeps that fell back to local execution.",
+        ).inc()
+        log_event("run_many", "serve_fallback", level="warning",
+                  url=url, error=str(exc))
         print(
             f"serve backend unreachable ({exc}); falling back to local execution",
             file=sys.stderr,
@@ -651,12 +717,17 @@ def run_many(
     specs = list(specs)
     if not specs:
         return []
+    metrics = _runmany_metrics()
+    metrics["sweeps"].inc()
+    sweep_cid = new_correlation_id("sweep")
     if checkpoint is not None:
         checkpoint.begin(specs)
     outcomes: List[Optional[RunOutcome]] = [None] * len(specs)
 
     def record(index: int, outcome: RunOutcome, put: bool) -> None:
         outcomes[index] = outcome
+        if not outcome.cached and outcome.wall_time:
+            metrics["cell_seconds"].observe(outcome.wall_time)
         if put and store is not None and outcome.ok:
             store.put(outcome)
         if checkpoint is not None:
@@ -670,26 +741,31 @@ def run_many(
         else:
             pending.append((index, spec))
 
+    log_event("run_many", "sweep_started", cid=sweep_cid, cells=len(specs),
+              cold=len(pending), workers=workers, backend=backend)
     try:
-        if pending and backend == "serve":
-            served = _run_via_serve([spec for _, spec in pending], serve_url)
-            if served is not None:
-                for (index, _), outcome in zip(pending, served):
-                    record(index, outcome, put=True)
-                pending = []
-        if pending:
-            if workers > 1 and len(pending) > 1:
-                _run_pooled(
-                    pending, workers, chunksize, timeout, max_attempts,
-                    lambda index, outcome: record(
-                        index, outcome, put=not outcome.cached
-                    ),
+        with correlation_scope(sweep_cid):
+            if pending and backend == "serve":
+                served = _run_via_serve(
+                    [spec for _, spec in pending], serve_url, cid=sweep_cid
                 )
-            else:
-                # Record cell by cell so an interrupt keeps finished work.
-                for index, spec in pending:
-                    outcome = execute_spec(spec)
-                    record(index, outcome, put=not outcome.cached)
+                if served is not None:
+                    for (index, _), outcome in zip(pending, served):
+                        record(index, outcome, put=True)
+                    pending = []
+            if pending:
+                if workers > 1 and len(pending) > 1:
+                    _run_pooled(
+                        pending, workers, chunksize, timeout, max_attempts,
+                        lambda index, outcome: record(
+                            index, outcome, put=not outcome.cached
+                        ),
+                    )
+                else:
+                    # Record cell by cell so an interrupt keeps finished work.
+                    for index, spec in pending:
+                        outcome = execute_spec(spec)
+                        record(index, outcome, put=not outcome.cached)
     except KeyboardInterrupt:
         if checkpoint is None:
             raise
@@ -697,6 +773,8 @@ def run_many(
 
         checkpoint.save()
         raise SweepInterrupted(outcomes, checkpoint) from None
+    log_event("run_many", "sweep_finished", cid=sweep_cid, cells=len(specs),
+              failed=sum(1 for o in outcomes if o is not None and not o.ok))
     assert all(outcome is not None for outcome in outcomes)
     return outcomes  # type: ignore[return-value]
 

@@ -52,6 +52,7 @@ from repro.experiments.parallel import (
 )
 from repro.machine.config import MachineConfig
 from repro.machine.system import RunResult
+from repro.obs import metrics as obs_metrics
 from repro.stats.breakdown import StallBreakdown
 from repro.stats.counters import Counters
 
@@ -282,14 +283,42 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get(CACHE_DIR_ENV) or ".repro-cache")
 
 
+def _store_metrics(registry: Optional[obs_metrics.MetricsRegistry]) -> Dict[str, Any]:
+    """Fleet-metric instruments for one store (shared via get-or-create)."""
+    reg = registry if registry is not None else obs_metrics.REGISTRY
+    return {
+        "hits": reg.counter(
+            "repro_store_hits_total", "Fingerprint-verified result-cache hits."),
+        "misses": reg.counter(
+            "repro_store_misses_total", "Result-cache lookups that missed."),
+        "stores": reg.counter(
+            "repro_store_stores_total", "Result entries written."),
+        "corrupt": reg.counter(
+            "repro_store_corrupt_total",
+            "Entries evicted because their fingerprint failed verification."),
+        "evictions": reg.counter(
+            "repro_store_evictions_total", "Entries evicted by LRU prune."),
+        "evicted_bytes": reg.counter(
+            "repro_store_evicted_bytes_total", "Bytes reclaimed by LRU prune."),
+        "stored_bytes": reg.counter(
+            "repro_store_stored_bytes_total",
+            "Bytes written into the store (entries + artifacts)."),
+    }
+
+
 class ResultStore:
     """A persistent content-addressed store of run results + artifacts."""
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        metrics_registry: Optional[obs_metrics.MetricsRegistry] = None,
+    ) -> None:
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.artifacts = self.root / "artifacts"
         self.stats = CacheStats()
+        self._metrics = _store_metrics(metrics_registry)
 
     # -- paths ---------------------------------------------------------
 
@@ -312,7 +341,18 @@ class ResultStore:
         target = self.artifact_dir(key) / name
         data = content.encode() if isinstance(content, str) else content
         self._atomic_write(target, data)
+        self._metrics["stored_bytes"].inc(len(data))
         return target
+
+    def get_artifact(self, key: str, name: str) -> Optional[bytes]:
+        """The raw bytes of one stored artifact, or None if absent."""
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"artifact name must be a plain filename: {name!r}")
+        path = self.artifact_dir(key, create=False) / name
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
 
     def list_artifacts(self, key: str) -> List[str]:
         path = self.artifact_dir(key, create=False)
@@ -342,6 +382,7 @@ class ResultStore:
                     verified = False
             if verified:
                 self.stats.hits += 1
+                self._metrics["hits"].inc()
                 try:
                     # Recency bump: prune() evicts least-recently-fetched
                     # entries first, so a served hit refreshes its mtime.
@@ -355,8 +396,10 @@ class ResultStore:
                     cached=True,
                 )
             self.stats.corrupt += 1
+            self._metrics["corrupt"].inc()
             path.unlink(missing_ok=True)
         self.stats.misses += 1
+        self._metrics["misses"].inc()
         return None
 
     def put(self, outcome: RunOutcome) -> Optional[str]:
@@ -374,10 +417,11 @@ class ResultStore:
             "result": result_to_json(outcome.result),
         }
         path = self.entry_path(key)
-        self._atomic_write(
-            path, (json.dumps(entry, sort_keys=True, indent=1) + "\n").encode()
-        )
+        payload = (json.dumps(entry, sort_keys=True, indent=1) + "\n").encode()
+        self._atomic_write(path, payload)
         self.stats.stores += 1
+        self._metrics["stores"].inc()
+        self._metrics["stored_bytes"].inc(len(payload))
         return key
 
     def load_entry(self, key: str) -> Optional[Dict[str, Any]]:
@@ -462,6 +506,8 @@ class ResultStore:
             evicted_keys.append(key)
             self.stats.evictions += 1
             self.stats.evicted_bytes += size
+            self._metrics["evictions"].inc()
+            self._metrics["evicted_bytes"].inc(size)
         return {
             "max_bytes": max_bytes,
             "evicted": len(evicted_keys),

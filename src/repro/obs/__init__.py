@@ -6,11 +6,16 @@
   with per-segment cycle attribution and state-transition logs;
 * :class:`~repro.obs.timeseries.MetricsSampler` — periodic occupancy /
   queue-depth snapshots into a bounded ring buffer;
-* :mod:`repro.obs.export` — Chrome-trace (Perfetto) and JSON/CSV export.
+* :mod:`repro.obs.export` — Chrome-trace (Perfetto) and JSON/CSV export;
+* :mod:`repro.obs.metrics` — fleet metrics (counter/gauge/histogram with
+  labels, Prometheus text exposition) for the serve daemon, result store,
+  parallel runner and serve client;
+* :mod:`repro.obs.log` — structured JSON event logging with correlation
+  ids threading client -> server -> worker.
 
 Everything here is opt-in: a machine built without ``trace=True`` and
 without a metrics interval runs byte-identically to one predating this
-package.
+package, and fleet telemetry mutates nothing when disabled.
 """
 
 from repro.obs.span import OPS, SEGMENTS, Span
@@ -21,6 +26,21 @@ from repro.obs.export import (
     spans_to_json,
     validate_trace_events,
     write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    parse_exposition,
+    sample_count,
+)
+from repro.obs.log import (
+    correlation_id,
+    correlation_scope,
+    log_event,
+    new_correlation_id,
 )
 
 __all__ = [
@@ -35,4 +55,15 @@ __all__ = [
     "spans_to_json",
     "validate_trace_events",
     "write_chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "parse_exposition",
+    "sample_count",
+    "correlation_id",
+    "correlation_scope",
+    "log_event",
+    "new_correlation_id",
 ]

@@ -37,6 +37,9 @@ _COUNTER_COLUMNS = (
     "mem_util",
     "req_net_util",
     "reply_net_util",
+    "updates_sent",
+    "uacks_sent",
+    "update_fallbacks",
 )
 
 
@@ -104,6 +107,7 @@ def chrome_trace(tracer, metrics=None) -> dict:
             "fill_state": span.fill_state,
             "invalidations": span.n_invals,
             "naks": span.n_naks,
+            "updates": span.n_updates,
         }
         if span.transitions:
             args["transitions"] = [

@@ -65,6 +65,7 @@ class Span:
         "transitions",
         "n_invals",
         "n_naks",
+        "n_updates",
         "served_by",
         "fill_state",
         "_cursor",
@@ -95,7 +96,11 @@ class Span:
         self.n_invals = 0
         #: NAKed forwards (writeback race retries).
         self.n_naks = 0
-        #: Who supplied the data: "memory", "owner", or "migratory".
+        #: Upd messages fanned to sharers on behalf of this transaction
+        #: (write-update protocols: Dragon and the competitive hybrid).
+        self.n_updates = 0
+        #: Who supplied the data: "memory", "owner", "migratory", or
+        #: "update" (a Wup write commit at home).
         self.served_by: Optional[str] = None
         #: Cache state the line was installed in (None for consume-once).
         self.fill_state: Optional[str] = None
@@ -164,6 +169,7 @@ class Span:
             "fill_state": self.fill_state,
             "n_invals": self.n_invals,
             "n_naks": self.n_naks,
+            "n_updates": self.n_updates,
             "segments": dict(self.segments),
             "intervals": [list(i) for i in self.intervals],
             "events": [list(e) for e in self.events],

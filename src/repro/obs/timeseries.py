@@ -33,6 +33,9 @@ COLUMNS = (
     "mem_util",          # mean memory-module occupancy over the window
     "req_net_util",      # mean request-mesh link occupancy over the window
     "reply_net_util",    # mean reply-mesh link occupancy over the window
+    "updates_sent",      # cumulative Upd fan-out (write-update protocols)
+    "uacks_sent",        # cumulative Uack acknowledgements
+    "update_fallbacks",  # cumulative hybrid update->invalidate fallbacks
 )
 
 
@@ -154,6 +157,7 @@ class MetricsSampler:
         m = self.machine
         sim = m.sim
         now = sim.now
+        counters = m.counters
         window = now - self._last_time
         busy = self._busy_totals()
         n_bus = len(m.buses) or 1
@@ -184,6 +188,9 @@ class MetricsSampler:
                 utils[1],
                 utils[2],
                 utils[3],
+                counters.get("updates_sent"),
+                counters.get("uacks_sent"),
+                counters.get("update_fallbacks"),
             )
         )
         events = sim.events_processed

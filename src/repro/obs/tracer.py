@@ -20,9 +20,18 @@ observation                   where                      segment marked
 ``Rp``/``Rxp``/``Mack`` sent  injected by home memory    ``memory``
 ``Rp``/``Rxp``/``Mack`` sent  injected by owner cache    ``owner_forward``
 ``Nak`` delivered             home directory             ``owner_forward``
+``Wu`` delivered              home directory             ``request_net``
+``Wup`` sent                  injected by home memory    ``memory``
 data reply delivered          requester cache            ``reply_net``
 transaction retired           requester cache            ``local_cache``
 ============================  =========================  ==================
+
+Write-update commits (Dragon / competitive hybrid) trace like
+memory-served misses: the ``Wu`` rides the request mesh, the home commit
+(directory + data-array write) lands in ``memory``, the ``Wup`` ride back
+is ``reply_net``, and Uack collection is the ``local_cache`` tail.  The
+``Upd`` fan-out to sharers is counted per span (``n_updates``), mirroring
+invalidations.
 
 Marks accumulate, so a NAK-retry loop (forward raced a writeback) keeps
 adding to ``directory``/``owner_forward`` until the retry succeeds, and
@@ -64,6 +73,7 @@ class TransactionTracer:
         self._served_by: Dict[str, int] = {}
         self.total_invals = 0
         self.total_naks = 0
+        self.total_updates = 0
 
     # ------------------------------------------------------------------
     # Span lifecycle (cache controller side)
@@ -83,6 +93,7 @@ class TransactionTracer:
         span.close(now, fill_state)
         self.total_invals += span.n_invals
         self.total_naks += span.n_naks
+        self.total_updates += span.n_updates
         if span.served_by is not None:
             self._served_by[span.served_by] = (
                 self._served_by.get(span.served_by, 0) + 1
@@ -116,11 +127,18 @@ class TransactionTracer:
             else:
                 span.mark("memory", now)
                 span.served_by = "migratory" if kind is MsgKind.MACK else "memory"
+        elif kind is MsgKind.WUP and msg.dst == span.node:
+            # Home committed the write (directory service + data-array
+            # write); the Wup leaving home ends the memory segment.
+            span.mark("memory", now)
+            span.served_by = "update"
         elif kind in (MsgKind.FWD_RR, MsgKind.FWD_RXQ, MsgKind.MR):
             # Home decided to forward: directory service ends here.
             span.mark("directory", now)
         elif kind is MsgKind.INV:
             span.n_invals += 1
+        elif kind is MsgKind.UPD:
+            span.n_updates += 1
 
     def on_dispatch(self, msg: CoherenceMessage, now: int) -> None:
         """A traced message reached its destination handler."""
@@ -129,9 +147,11 @@ class TransactionTracer:
             return
         kind = msg.kind
         span.note_event(now, "recv", kind.value, msg.src, msg.dst)
-        if kind in (MsgKind.RR, MsgKind.RXQ):
+        if kind in (MsgKind.RR, MsgKind.RXQ, MsgKind.WU):
             span.mark("request_net", now)
         elif kind in _REPLY_KINDS and msg.dst == span.node:
+            span.mark("reply_net", now)
+        elif kind is MsgKind.WUP and msg.dst == span.node:
             span.mark("reply_net", now)
         elif kind is MsgKind.NAK:
             # The forward missed (writeback race): the whole failed round
@@ -182,6 +202,7 @@ class TransactionTracer:
             "spans_dropped": self.dropped,
             "invalidations": self.total_invals,
             "naks": self.total_naks,
+            "updates": self.total_updates,
             "served_by": dict(sorted(self._served_by.items())),
             "by_op": by_op,
         }
@@ -203,6 +224,8 @@ def render_latency_summary(doc: dict) -> str:
         f"invalidations on traced paths: {doc['invalidations']:,}   "
         f"NAK retries: {doc['naks']:,}",
     ]
+    if doc.get("updates"):
+        lines.append(f"write-updates fanned to sharers: {doc['updates']:,}")
     if doc["served_by"]:
         lines.append(
             "data served by: "

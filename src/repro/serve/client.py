@@ -35,6 +35,7 @@ import json
 import socket
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
@@ -46,6 +47,8 @@ from repro.experiments.parallel import (
     result_fingerprint,
 )
 from repro.experiments.store import result_from_json, spec_key, spec_to_json
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import log_event, new_correlation_id
 
 #: Failures worth retrying: the request may never have reached the
 #: daemon, or the response was cut off.  (HTTPError subclasses URLError,
@@ -92,6 +95,24 @@ def _error_body(exc: urllib.error.HTTPError) -> Any:
     return exc.reason
 
 
+_CLIENT_METRICS: Optional[Dict[str, Any]] = None
+
+
+def _client_metrics() -> Dict[str, Any]:
+    """ServeClient instruments on the global registry, built once."""
+    global _CLIENT_METRICS
+    if _CLIENT_METRICS is None:
+        _CLIENT_METRICS = {
+            "retries": obs_metrics.counter(
+                "repro_client_retries_total",
+                "Requests re-sent after a connection-level failure."),
+            "resumptions": obs_metrics.counter(
+                "repro_client_stream_resumptions_total",
+                "NDJSON streams reconnected with ?after= after a drop."),
+        }
+    return _CLIENT_METRICS
+
+
 class ServeClient:
     """Talk to one ExperimentServer over HTTP, retrying transient faults."""
 
@@ -103,45 +124,69 @@ class ServeClient:
         retries: int = 4,
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
+        cid: str = "",
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = max(0, retries)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        #: Correlation id stamped on submitted jobs (minted per submit
+        #: when empty), so client/server/worker logs line up.
+        self.cid = cid
 
     # -- raw transport -------------------------------------------------
 
-    def _request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
-        data = json.dumps(body).encode() if body is not None else None
+    def _open(self, request: "urllib.request.Request", attempt: int, label: str):
+        """One urlopen try; counts + backs off before signalling a retry."""
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError:
+            raise
+        except _CONNECTION_ERRORS as exc:
+            if attempt <= self.retries:
+                _client_metrics()["retries"].inc()
+                time.sleep(backoff_delay(
+                    attempt,
+                    base=self.backoff_base,
+                    cap=self.backoff_cap,
+                    key=f"{self.base_url}:{label}",
+                ))
+            raise exc
+
+    def _request_raw(
+        self,
+        method: str,
+        path: str,
+        data: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> bytes:
+        """Send one request with retries; returns the raw response body."""
         last: Optional[BaseException] = None
         for attempt in range(1, self.retries + 2):
             request = urllib.request.Request(
                 self.base_url + path,
                 data=data,
                 method=method,
-                headers={"Content-Type": "application/json"} if data else {},
+                headers={"Content-Type": content_type} if data is not None else {},
             )
             try:
-                with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                    return json.loads(response.read().decode())
+                with self._open(request, attempt, f"{method} {path}") as response:
+                    return response.read()
             except urllib.error.HTTPError as exc:
                 raise ServeError(exc.code, _error_body(exc)) from None
             except _CONNECTION_ERRORS as exc:
                 last = exc
-                if attempt <= self.retries:
-                    time.sleep(backoff_delay(
-                        attempt,
-                        base=self.backoff_base,
-                        cap=self.backoff_cap,
-                        key=f"{self.base_url}:{method} {path}",
-                    ))
         raise ServeUnavailable(
             f"{method} {self.base_url}{path} failed after "
             f"{self.retries + 1} attempt(s): {last}"
         ) from last
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = json.dumps(body).encode() if body is not None else None
+        return json.loads(self._request_raw(method, path, data).decode())
 
     # -- API -----------------------------------------------------------
 
@@ -151,9 +196,19 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         return self._request("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (``GET /metrics``)."""
+        return self._request_raw("GET", "/metrics").decode()
+
     def submit(self, spec_docs: List[Dict[str, Any]]) -> Dict[str, Any]:
         """Submit wire-form spec dicts; returns the initial job status."""
-        return self._request("POST", "/jobs", {"specs": spec_docs})
+        cid = self.cid or new_correlation_id("job")
+        status = self._request(
+            "POST", "/jobs", {"specs": spec_docs, "cid": cid}
+        )
+        log_event("client", "job_submitted", cid=cid, job=status.get("job"),
+                  specs=len(spec_docs), url=self.base_url)
+        return status
 
     def submit_specs(self, specs: Sequence[RunSpec]) -> Dict[str, Any]:
         """Submit RunSpec objects (serialized for the wire here)."""
@@ -172,6 +227,23 @@ class ServeClient:
 
     def artifacts(self, key: str) -> List[str]:
         return self._request("GET", f"/results/{key}/artifacts")["artifacts"]
+
+    def put_artifact(
+        self, key: str, name: str, content: "bytes | str"
+    ) -> Dict[str, Any]:
+        """Upload one artifact next to the result for ``key``."""
+        data = content.encode() if isinstance(content, str) else content
+        quoted = urllib.parse.quote(name, safe="")
+        body = self._request_raw(
+            "POST", f"/artifacts/{key}/{quoted}", data,
+            content_type="application/octet-stream",
+        )
+        return json.loads(body.decode())
+
+    def get_artifact(self, key: str, name: str) -> bytes:
+        """Download one stored artifact's raw bytes."""
+        quoted = urllib.parse.quote(name, safe="")
+        return self._request_raw("GET", f"/artifacts/{key}/{quoted}")
 
     def wait(
         self,
@@ -241,6 +313,9 @@ class ServeClient:
                         f"stream for job {job_id} dropped after event {last}: {exc}"
                     ) from exc
                 failures += 1
+                _client_metrics()["resumptions"].inc()
+                log_event("client", "stream_resumed", level="warning",
+                          job=job_id, after=last)
                 time.sleep(backoff_delay(
                     failures,
                     base=self.backoff_base,
@@ -257,6 +332,9 @@ class ServeClient:
                     f"without job-done"
                 )
             failures += 1
+            _client_metrics()["resumptions"].inc()
+            log_event("client", "stream_resumed", level="warning",
+                      job=job_id, after=last)
             time.sleep(backoff_delay(
                 failures,
                 base=self.backoff_base,

@@ -17,6 +17,7 @@ API
                                resolve instantly, duplicates (within the
                                batch or against other clients' in-flight
                                cells) attach to the existing cell.
+``GET    /jobs``               one summary row per live job (for dashboards)
 ``GET    /jobs/<id>``          job status: per-cell state + counts
 ``DELETE /jobs/<id>``          cancel: queued/backoff cells not shared
                                with another live job are abandoned;
@@ -30,7 +31,17 @@ API
                                without missing or repeating events
 ``GET    /results/<key>``      the stored entry (spec, fingerprint, result)
 ``GET    /results/<key>/artifacts``  artifact listing for the cell
+``POST   /artifacts/<key>/<name>``   upload one artifact (raw request body)
+``GET    /artifacts/<key>/<name>``   download one artifact's raw bytes
 ``GET    /stats``              cache stats + scheduler/resilience counters
+``GET    /metrics``            Prometheus text exposition (version 0.0.4)
+
+Every request is counted per route in ``repro_http_requests_total`` and
+timed into ``repro_http_request_seconds``; job/cell lifecycle, requeues,
+timeouts, crashes and fault kills feed the ``repro_serve_*`` series (see
+:mod:`repro.obs.metrics`).  ``POST /jobs`` accepts an optional ``"cid"``
+correlation id which is stored per job/cell and bound around worker
+execution, so structured logs thread client -> server -> worker.
 
 Scheduling & resilience
 -----------------------
@@ -72,8 +83,11 @@ from repro.experiments.parallel import (
     _pool_context,
     backoff_delay,
     execute_spec,
+    execute_spec_with_cid,
 )
 from repro.experiments.store import ResultStore, spec_from_json, spec_key
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import log_event
 from repro.serve.faults import ServeFaultPlan
 
 SERVE_SCHEMA = "repro-serve/1"
@@ -105,6 +119,8 @@ class Cell:
     last_error: str = ""
     #: (exc_type, message) of the attempt that just failed, pre-requeue.
     failure: Tuple[str, str] = ("", "")
+    #: Correlation id of the job that first created this cell.
+    cid: str = ""
 
     def to_json(self) -> Dict[str, Any]:
         doc = {
@@ -129,6 +145,8 @@ class Job:
     keys: List[str] = field(default_factory=list)
     cancelled: bool = False
     finished: bool = False
+    #: Correlation id supplied by the submitting client ("" if none).
+    cid: str = ""
     #: Append-only NDJSON event log; index == event["seq"], so any
     #: stream connection can replay from ``?after=<seq>``.
     events: List[Dict[str, Any]] = field(default_factory=list)
@@ -152,6 +170,7 @@ class ExperimentServer:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         faults: Optional[ServeFaultPlan] = None,
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
     ) -> None:
         self.store = store
         self.workers = max(1, workers)
@@ -180,6 +199,97 @@ class ExperimentServer:
         self._rebuild_lock: Optional[asyncio.Lock] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: Set["asyncio.Task[Any]"] = set()
+        self.registry = registry if registry is not None else obs_metrics.REGISTRY
+        self._init_metrics()
+
+    def _init_metrics(self) -> None:
+        """Declare the daemon's instrument set on ``self.registry``.
+
+        Get-or-create semantics make this idempotent; gauges use scrape-time
+        callbacks bound to this instance (the latest-constructed server on a
+        shared registry wins, which is the one-daemon-per-process reality).
+        """
+        reg = self.registry
+        self._m_http_requests = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by method and route pattern.",
+            labelnames=("method", "route"),
+        )
+        self._m_http_errors = reg.counter(
+            "repro_http_errors_total",
+            "HTTP requests that ended in a 4xx/5xx, by route pattern.",
+            labelnames=("route",),
+        )
+        self._m_http_seconds = reg.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock seconds spent handling one HTTP request.",
+            labelnames=("route",),
+            buckets=(0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0),
+        )
+        self._m_jobs_submitted = reg.counter(
+            "repro_serve_jobs_submitted_total", "Jobs accepted via POST /jobs.")
+        self._m_jobs_finished = reg.counter(
+            "repro_serve_jobs_finished_total", "Jobs whose event log reached job-done.")
+        self._m_jobs_cancelled = reg.counter(
+            "repro_serve_jobs_cancelled_total",
+            "Jobs cancelled by DELETE or the job deadline.")
+        self._m_specs_submitted = reg.counter(
+            "repro_serve_specs_submitted_total", "Specs received across all jobs.")
+        self._m_specs_deduped = reg.counter(
+            "repro_serve_specs_deduped_total",
+            "Specs that attached to an existing in-flight or cached cell.")
+        self._m_cells_terminal = reg.counter(
+            "repro_serve_cells_total",
+            "Cells that reached a terminal state, by status.",
+            labelnames=("status",),
+        )
+        self._m_cell_attempts = reg.counter(
+            "repro_serve_cell_attempts_total", "Execution attempts started on workers.")
+        self._m_cell_seconds = reg.histogram(
+            "repro_serve_cell_seconds",
+            "Wall-clock seconds of one cell execution attempt.",
+        )
+        self._m_requeues = reg.counter(
+            "repro_serve_requeues_total", "Cells requeued after a crash or timeout.")
+        self._m_timeouts = reg.counter(
+            "repro_serve_timeouts_total", "Attempts that blew the per-cell deadline.")
+        self._m_worker_crashes = reg.counter(
+            "repro_serve_worker_crashes_total",
+            "Attempts lost to a dead worker (BrokenProcessPool and kin).")
+        self._m_executor_rebuilds = reg.counter(
+            "repro_serve_executor_rebuilds_total",
+            "Process-pool rebuilds after a failure wave.")
+        self._m_fault_kills = reg.counter(
+            "repro_serve_fault_kills_total",
+            "Worker kills injected by the ServeFaultPlan.")
+        self._m_dropped_frames = reg.counter(
+            "repro_serve_dropped_frames_total",
+            "Stream frames dropped by the ServeFaultPlan.")
+
+        def count_cells(*statuses: str) -> int:
+            return sum(1 for c in self.cells.values() if c.status in statuses)
+
+        reg.gauge("repro_serve_workers", "Configured worker-pool width.").set_function(
+            lambda: self.workers)
+        reg.gauge(
+            "repro_serve_cells_running", "Cells currently occupying a worker.",
+        ).set_function(lambda: count_cells("running"))
+        reg.gauge(
+            "repro_serve_cells_queued",
+            "Cells waiting for a worker (queued or in backoff).",
+        ).set_function(lambda: count_cells("queued", "backoff"))
+        reg.gauge(
+            "repro_serve_jobs_open", "Jobs whose event log has not reached job-done.",
+        ).set_function(lambda: sum(1 for j in self.jobs.values() if not j.finished))
+        reg.gauge(
+            "repro_serve_event_log_depth",
+            "Total buffered stream events across all job logs.",
+        ).set_function(lambda: sum(len(j.events) for j in self.jobs.values()))
+        reg.gauge(
+            "repro_serve_executor_generation",
+            "Process-pool generation (increments on every rebuild).",
+        ).set_function(lambda: self._generation)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -224,29 +334,32 @@ class ExperimentServer:
 
     # -- scheduling ----------------------------------------------------
 
-    def submit(self, spec_docs: List[Dict[str, Any]]) -> Job:
+    def submit(self, spec_docs: List[Dict[str, Any]], cid: str = "") -> Job:
         """Register a batch; returns the job with one cell per spec."""
         if not isinstance(spec_docs, list) or not spec_docs:
             raise BadRequest('body must be {"specs": [<spec>, ...]}')
         self._job_counter += 1
-        job = Job(id=f"job-{self._job_counter}")
+        job = Job(id=f"job-{self._job_counter}", cid=str(cid or ""))
+        self._m_jobs_submitted.inc()
         for doc in spec_docs:
             try:
                 spec = spec_from_json(doc)
             except (KeyError, TypeError, ValueError) as exc:
                 raise BadRequest(f"bad spec {doc!r}: {exc}") from None
             self.submitted += 1
+            self._m_specs_submitted.inc()
             key = spec_key(spec)
             cell = self.cells.get(key)
             if cell is None:
                 cell = Cell(key=key, spec=spec, status="queued",
-                            done=asyncio.Event())
+                            done=asyncio.Event(), cid=job.cid)
                 self.cells[key] = cell
                 cached = self.store.fetch(spec)
                 if cached is not None:
                     cell.status = "cached"
                     cell.outcome = cached
                     cell.done.set()
+                    self._m_cells_terminal.labels(status="cached").inc()
                 else:
                     self._spawn(self._run_cell(cell))
             elif cell.status == "cancelled":
@@ -256,14 +369,18 @@ class ExperimentServer:
                 cell.outcome = None
                 cell.attempts = 0
                 cell.last_error = ""
+                cell.cid = job.cid
                 self._spawn(self._run_cell(cell))
             else:
                 # The dedupe path: an identical cell is already cached,
                 # queued, or running on behalf of another submission.
                 self.deduped += 1
+                self._m_specs_deduped.inc()
             cell.refs += 1
             job.keys.append(key)
         self.jobs[job.id] = job
+        log_event("serve", "job_submitted", job=job.id, cid=job.cid or None,
+                  specs=len(job.keys))
         self._spawn(self._record_job(job))
         return job
 
@@ -285,6 +402,10 @@ class ExperimentServer:
                 return
             cell.status = "backoff"
             self.requeues += 1
+            self._m_requeues.inc()
+            log_event("serve", "cell_requeued", level="warning", cell=cell.key,
+                      cid=cell.cid or None, attempts=cell.attempts,
+                      error=cell.last_error)
             await asyncio.sleep(backoff_delay(
                 cell.attempts,
                 base=self.backoff_base,
@@ -296,19 +417,25 @@ class ExperimentServer:
         """One execution attempt; returns True when the cell must requeue."""
         generation = self._generation
         kill_task = None
+        self._m_cell_attempts.inc()
         if self.faults is not None and self.faults.should_kill(
             cell.key, cell.attempts
         ):
             self.fault_kills += 1
+            self._m_fault_kills.inc()
             kill_task = loop.create_task(self._fault_kill(generation))
         try:
-            future = loop.run_in_executor(self._executor, execute_spec, cell.spec)
+            future = loop.run_in_executor(
+                self._executor, execute_spec_with_cid, cell.spec, cell.cid
+            )
             if self.cell_timeout is not None:
                 outcome = await asyncio.wait_for(future, self.cell_timeout)
             else:
                 outcome = await future
         except asyncio.TimeoutError:
             self.timeouts += 1
+            self._m_timeouts.inc()
+            self._m_cell_seconds.observe(loop.time() - cell.started)
             cell.failure = (
                 "CellTimeout",
                 f"exceeded the {self.cell_timeout}s per-cell deadline",
@@ -319,12 +446,15 @@ class ExperimentServer:
             raise
         except Exception as exc:  # BrokenProcessPool, pickling failure, ...
             self.worker_crashes += 1
+            self._m_worker_crashes.inc()
+            self._m_cell_seconds.observe(loop.time() - cell.started)
             cell.failure = (type(exc).__name__, str(exc) or "worker process died")
             await self._rebuild_executor(generation)
             return self._requeue_or_fail(cell)
         finally:
             if kill_task is not None:
                 kill_task.cancel()
+        self._m_cell_seconds.observe(loop.time() - cell.started)
         if self.faults is not None:
             delay = self.faults.completion_delay(cell.key)
             if delay:
@@ -335,6 +465,12 @@ class ExperimentServer:
             cell.status = "done"
         else:
             cell.status = "failed"
+        self._m_cells_terminal.labels(status=cell.status).inc()
+        log_event("serve", "cell_done" if outcome.ok else "cell_failed",
+                  level="info" if outcome.ok else "error",
+                  cell=cell.key, cid=cell.cid or None, attempts=cell.attempts,
+                  status=cell.status,
+                  error=str(outcome.error) if outcome.error else None)
         cell.done.set()
         return False
 
@@ -354,6 +490,10 @@ class ExperimentServer:
             attempts=cell.attempts,
         ))
         cell.status = "failed"
+        self._m_cells_terminal.labels(status="failed").inc()
+        log_event("serve", "cell_failed", level="error", cell=cell.key,
+                  cid=cell.cid or None, attempts=cell.attempts,
+                  error=cell.last_error)
         cell.done.set()
         return False
 
@@ -371,6 +511,9 @@ class ExperimentServer:
                 return
             self._generation += 1
             self.executor_rebuilds += 1
+            self._m_executor_rebuilds.inc()
+            log_event("serve", "executor_rebuilt", level="warning",
+                      generation=self._generation)
             old, self._executor = self._executor, ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=_pool_context()
             )
@@ -448,6 +591,9 @@ class ExperimentServer:
                 "seq": len(job.events),
                 "cancelled": job.cancelled,
             })
+            self._m_jobs_finished.inc()
+            log_event("serve", "job_finished", job=job.id, cid=job.cid or None,
+                      total=len(job.keys), cancelled=job.cancelled)
             self._notify(job)
 
     def _append_event(self, job: Job, cell: Cell) -> None:
@@ -478,6 +624,9 @@ class ExperimentServer:
             return
         job.cancelled = True
         self.cancelled_jobs += 1
+        self._m_jobs_cancelled.inc()
+        log_event("serve", "job_cancelled", level="warning", job=job.id,
+                  cid=job.cid or None, reason=reason)
         shared: Set[str] = set()
         for other in self.jobs.values():
             if other.id != job.id and not other.cancelled:
@@ -488,6 +637,7 @@ class ExperimentServer:
                 continue
             cell.status = "cancelled"
             cell.last_error = reason
+            self._m_cells_terminal.labels(status="cancelled").inc()
             cell.done.set()
 
     # -- status documents ----------------------------------------------
@@ -548,23 +698,33 @@ class ExperimentServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        loop = asyncio.get_running_loop()
         try:
             try:
                 method, path, body = await _read_request(reader)
             except BadRequest as exc:
                 await _respond_json(writer, 400, {"error": str(exc)})
                 return
+            route = _route_label(method, path)
+            self._m_http_requests.labels(method=method, route=route).inc()
+            started = loop.time()
             try:
                 await self._route(method, path, body, writer)
             except BadRequest as exc:
+                self._m_http_errors.labels(route=route).inc()
                 await _respond_json(writer, 400, {"error": str(exc)})
             except (ConnectionError, OSError):
                 pass  # client went away mid-response
             except Exception as exc:  # noqa: BLE001 - daemon must survive
+                self._m_http_errors.labels(route=route).inc()
                 try:
                     await _respond_json(writer, 500, {"error": repr(exc)})
                 except (ConnectionError, OSError):
                     pass
+            finally:
+                self._m_http_seconds.labels(route=route).observe(
+                    loop.time() - started
+                )
         finally:
             try:
                 writer.close()
@@ -590,12 +750,27 @@ class ExperimentServer:
             )
         elif method == "GET" and parts == ["stats"]:
             await _respond_json(writer, 200, self.stats())
+        elif method == "GET" and parts == ["metrics"]:
+            await _respond_bytes(
+                writer, 200, self.registry.exposition().encode(),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif method == "GET" and parts == ["jobs"]:
+            jobs = []
+            for job in self.jobs.values():
+                status = self.job_status(job)
+                status.pop("cells", None)
+                status["cid"] = job.cid
+                jobs.append(status)
+            await _respond_json(
+                writer, 200, {"schema": SERVE_SCHEMA, "jobs": jobs}
+            )
         elif method == "POST" and parts == ["jobs"]:
             try:
                 doc = json.loads(body or b"{}")
             except ValueError:
                 raise BadRequest("body is not valid JSON") from None
-            job = self.submit(doc.get("specs"))
+            job = self.submit(doc.get("specs"), cid=doc.get("cid") or "")
             await _respond_json(writer, 200, self.job_status(job))
         elif method in ("GET", "DELETE") and len(parts) == 2 and parts[0] == "jobs":
             job = self.jobs.get(parts[1])
@@ -640,6 +815,34 @@ class ExperimentServer:
                 writer, 200,
                 {"key": parts[1], "artifacts": self.store.list_artifacts(parts[1])},
             )
+        elif (
+            method in ("POST", "PUT")
+            and len(parts) == 3
+            and parts[0] == "artifacts"
+        ):
+            key, name = parts[1], urllib.parse.unquote(parts[2])
+            try:
+                path = self.store.put_artifact(key, name, body)
+            except ValueError as exc:
+                raise BadRequest(str(exc)) from None
+            log_event("serve", "artifact_stored", key=key, name=name,
+                      bytes=len(body))
+            await _respond_json(
+                writer, 200,
+                {"key": key, "name": path.name, "bytes": len(body)},
+            )
+        elif method == "GET" and len(parts) == 3 and parts[0] == "artifacts":
+            key, name = parts[1], urllib.parse.unquote(parts[2])
+            content = self.store.get_artifact(key, name)
+            if content is None:
+                await _respond_json(
+                    writer, 404,
+                    {"error": f"no artifact {name!r} for result {key!r}"},
+                )
+                return
+            await _respond_bytes(
+                writer, 200, content, content_type="application/octet-stream"
+            )
         else:
             await _respond_json(
                 writer, 404, {"error": f"no route {method} /{'/'.join(parts)}"}
@@ -671,6 +874,7 @@ class ExperimentServer:
                 if self.faults is not None and self.faults.should_drop_frame(
                     job.id, event["seq"]
                 ):
+                    self._m_dropped_frames.inc()
                     return  # dropped: the client reconnects with ?after=
                 writer.write((json.dumps(event, sort_keys=True) + "\n").encode())
                 await writer.drain()
@@ -713,20 +917,60 @@ _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                 500: "Internal Server Error"}
 
 
-async def _respond_json(
-    writer: asyncio.StreamWriter, status: int, doc: Dict[str, Any]
+def _route_label(method: str, path: str) -> str:
+    """Collapse a concrete path to its route pattern for metric labels.
+
+    ``/jobs/job-3/stream`` -> ``/jobs/{id}/stream``; unknown shapes map to
+    ``/other`` so label cardinality stays bounded no matter what clients
+    throw at the socket.
+    """
+    raw_path = path.partition("?")[0]
+    parts = [part for part in raw_path.split("/") if part]
+    if not parts:
+        return "/"
+    head = parts[0]
+    if head in ("healthz", "stats", "metrics") and len(parts) == 1:
+        return f"/{head}"
+    if head == "jobs":
+        if len(parts) == 1:
+            return "/jobs"
+        if len(parts) == 2:
+            return "/jobs/{id}"
+        if len(parts) == 3 and parts[2] == "stream":
+            return "/jobs/{id}/stream"
+    if head == "results":
+        if len(parts) == 2:
+            return "/results/{key}"
+        if len(parts) == 3 and parts[2] == "artifacts":
+            return "/results/{key}/artifacts"
+    if head == "artifacts" and len(parts) == 3:
+        return "/artifacts/{key}/{name}"
+    return "/other"
+
+
+async def _respond_bytes(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    content_type: str = "application/octet-stream",
 ) -> None:
-    payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
     writer.write(
         (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode()
     )
     writer.write(payload)
     await writer.drain()
+
+
+async def _respond_json(
+    writer: asyncio.StreamWriter, status: int, doc: Dict[str, Any]
+) -> None:
+    payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    await _respond_bytes(writer, status, payload, content_type="application/json")
 
 
 async def run_server(

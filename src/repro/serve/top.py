@@ -1,0 +1,199 @@
+"""``repro-sim top``: a live, curses-free terminal dashboard for the daemon.
+
+Polls ``GET /stats`` + ``GET /metrics`` (+ ``GET /jobs`` for per-job
+progress) on an interval and redraws a single screenful: queue depth,
+worker occupancy, cache hit ratio, requeue/crash/fault counters, HTTP
+traffic, and a progress bar per job.  Plain ANSI clear-screen, stdlib
+``urllib`` only — it runs anywhere the client runs, over nothing but the
+daemon's existing HTTP surface.
+
+The renderer is a pure function (``render_dashboard``) over the fetched
+documents so tests can exercise it without a socket.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import ParsedMetric, parse_exposition
+
+#: ANSI: clear screen + home the cursor.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_json(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode())
+
+
+def fetch_text(url: str, timeout: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode()
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def _metric_sum(families: Dict[str, ParsedMetric], name: str) -> float:
+    """Sum of every sample of one family (labeled counters roll up)."""
+    fam = families.get(name)
+    if fam is None:
+        return 0.0
+    return sum(value for _, _, value in fam.samples)
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def render_dashboard(
+    stats: Dict[str, Any],
+    metrics_text: str = "",
+    jobs: Optional[List[Dict[str, Any]]] = None,
+    url: str = "",
+    max_jobs: int = 8,
+) -> str:
+    """One dashboard frame as plain text (no ANSI — the loop adds that)."""
+    families = parse_exposition(metrics_text) if metrics_text else {}
+    workers = int(stats.get("workers", 1) or 1)
+    by_status = stats.get("cells_by_status", {}) or {}
+    running = int(by_status.get("running", 0))
+    queued = int(by_status.get("queued", 0)) + int(by_status.get("backoff", 0))
+    cache = stats.get("cache", {}) or {}
+    scheduler = stats.get("scheduler", {}) or {}
+
+    lines: List[str] = []
+    title = "repro-sim top"
+    if url:
+        title += f" — {url}"
+    lines.append(title)
+    lines.append(time.strftime("%Y-%m-%d %H:%M:%S"))
+    lines.append("")
+    lines.append(
+        f"workers   {_bar(running / workers if workers else 0.0)} "
+        f"{running}/{workers} busy"
+    )
+    lines.append(
+        f"queue     {queued} waiting "
+        f"(queued {by_status.get('queued', 0)}, backoff {by_status.get('backoff', 0)})"
+    )
+    status_order = ("queued", "backoff", "running", "done", "cached",
+                    "failed", "cancelled")
+    shown = [f"{status}={by_status[status]}" for status in status_order
+             if by_status.get(status)]
+    extras = [f"{status}={count}" for status, count in sorted(by_status.items())
+              if status not in status_order]
+    lines.append("cells     " + (" ".join(shown + extras) or "none yet"))
+    lines.append("")
+    hit_rate = float(cache.get("hit_rate", 0.0) or 0.0)
+    lines.append(
+        f"cache     {_bar(hit_rate)} {hit_rate:.0%} hit rate "
+        f"(hits {cache.get('hits', 0)}, misses {cache.get('misses', 0)}, "
+        f"entries {cache.get('entries', 0)})"
+    )
+    lines.append(
+        f"faults    requeues {scheduler.get('requeues', 0)}, "
+        f"timeouts {scheduler.get('timeouts', 0)}, "
+        f"crashes {scheduler.get('worker_crashes', 0)}, "
+        f"rebuilds {scheduler.get('executor_rebuilds', 0)}, "
+        f"kills {scheduler.get('fault_kills', 0)}"
+    )
+    if families:
+        http_total = _metric_sum(families, "repro_http_requests_total")
+        count = 0.0
+        total_s = 0.0
+        fam = families.get("repro_http_request_seconds")
+        if fam is not None:
+            for name, _, value in fam.samples:
+                if name.endswith("_count"):
+                    count += value
+                elif name.endswith("_sum"):
+                    total_s += value
+        mean_ms = (total_s / count * 1000.0) if count else 0.0
+        lines.append(
+            f"http      {_fmt(http_total)} requests, "
+            f"mean {mean_ms:.1f} ms, "
+            f"errors {_fmt(_metric_sum(families, 'repro_http_errors_total'))}"
+        )
+        fam = families.get("repro_serve_cell_seconds")
+        attempts_s = attempts_n = 0.0
+        if fam is not None:
+            for name, _, value in fam.samples:
+                if name.endswith("_count"):
+                    attempts_n += value
+                elif name.endswith("_sum"):
+                    attempts_s += value
+        if attempts_n:
+            lines.append(
+                f"attempts  {_fmt(attempts_n)} executed, "
+                f"mean cell {attempts_s / attempts_n:.2f} s"
+            )
+    if jobs:
+        lines.append("")
+        lines.append(f"jobs      ({len(jobs)} total, last {min(max_jobs, len(jobs))})")
+        for job in jobs[-max_jobs:]:
+            total = int(job.get("total", 0) or 0)
+            finished = int(job.get("finished", 0) or 0)
+            fraction = finished / total if total else 0.0
+            flags = ""
+            if job.get("cancelled"):
+                flags = " CANCELLED"
+            elif job.get("complete"):
+                flags = " done"
+            cid = job.get("cid") or ""
+            cid_part = f"  cid={cid}" if cid else ""
+            lines.append(
+                f"  {job.get('job', '?'):>8} {_bar(fraction, 20)} "
+                f"{finished}/{total}{flags}{cid_part}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def fetch_frame(base_url: str, timeout: float = 5.0) -> str:
+    """Fetch /stats, /metrics and /jobs and render one frame."""
+    base = base_url.rstrip("/")
+    stats = fetch_json(f"{base}/stats", timeout=timeout)
+    try:
+        metrics_text = fetch_text(f"{base}/metrics", timeout=timeout)
+    except (urllib.error.URLError, OSError, ValueError):
+        metrics_text = ""
+    try:
+        jobs = fetch_json(f"{base}/jobs", timeout=timeout).get("jobs", [])
+    except (urllib.error.URLError, OSError, ValueError):
+        jobs = []
+    return render_dashboard(stats, metrics_text, jobs=jobs, url=base)
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    once: bool = False,
+    iterations: Optional[int] = None,
+) -> int:
+    """The CLI loop: redraw until interrupted (or ``iterations`` frames)."""
+    count = 0
+    while True:
+        try:
+            frame = fetch_frame(url)
+        except (urllib.error.URLError, OSError) as exc:
+            frame = f"repro-sim top — {url}\n\ndaemon unreachable: {exc}\n"
+        if once or iterations is not None:
+            print(frame, end="")
+        else:
+            print(_CLEAR + frame, end="", flush=True)
+        count += 1
+        if once or (iterations is not None and count >= iterations):
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -152,3 +152,56 @@ def test_tolerance_ignores_speedups_and_new_labels():
 def test_negative_tolerance_rejected():
     with pytest.raises(ValueError):
         timing_regressions(_snapshot(), _snapshot(), -0.1)
+
+
+# ---------------------------------------------------------------------------
+# Host-comparability warnings (informational, never gate failures)
+
+
+from repro.experiments.bench import host_warnings
+
+
+def _hosted(cpu=8, platform="Linux-6.18-x86_64", python="3.11.9", fast="pure-python"):
+    doc = _snapshot(fast_path=fast)
+    doc["host"] = {"cpu_count": cpu, "platform": platform, "python": python}
+    return doc
+
+
+def test_same_host_yields_no_warnings():
+    assert host_warnings(_hosted(), _hosted()) == []
+
+
+def test_each_host_field_mismatch_warns():
+    old = _hosted()
+    warnings = host_warnings(old, _hosted(cpu=32))
+    assert len(warnings) == 1 and "CPU count" in warnings[0]
+    assert "8" in warnings[0] and "32" in warnings[0]
+    assert "informational only" in warnings[0]
+    assert any("platform" in w
+               for w in host_warnings(old, _hosted(platform="Darwin-arm64")))
+    assert any("Python" in w for w in host_warnings(old, _hosted(python="3.12.1")))
+    assert any("fast-path" in w for w in host_warnings(old, _hosted(fast="mypyc")))
+
+
+def test_all_fields_differ_warns_once_each():
+    warnings = host_warnings(
+        _hosted(), _hosted(cpu=2, platform="p2", python="q2", fast="mypyc")
+    )
+    assert len(warnings) == 4
+
+
+def test_missing_host_metadata_compares_as_none():
+    # Old snapshots from before host recording: every field reads None,
+    # so comparing two legacy snapshots stays quiet...
+    legacy = _snapshot()
+    assert host_warnings(legacy, legacy) == []
+    # ...but legacy vs modern flags the change.
+    warnings = host_warnings(legacy, _hosted())
+    assert len(warnings) == 4
+    assert all("None" in w for w in warnings)
+
+
+def test_host_mismatch_does_not_gate():
+    old, new = _hosted(), _hosted(cpu=128, fast="mypyc")
+    assert host_warnings(old, new)
+    assert compare_bench_results(old, new) == []

@@ -353,3 +353,100 @@ def test_run_many_serve_backend_falls_back_to_local(capsys):
         assert result_fingerprint(outcome.unwrap()) == result_fingerprint(
             execute_spec(spec).unwrap()
         )
+
+
+# ---------------------------------------------------------------------------
+# Telemetry: /metrics scrape, artifact upload, correlation ids
+
+
+import urllib.request
+
+from repro.obs.metrics import MetricsRegistry, parse_exposition, sample_count
+
+
+def test_metrics_endpoint_scrapes_job_lifecycle(tmp_path):
+    """Acceptance: a real-HTTP scrape parses as Prometheus text, exposes a
+    wide series surface, and the job-lifecycle counters actually move."""
+    registry = MetricsRegistry()
+    store = ResultStore(tmp_path / "cache", metrics_registry=registry)
+    with running_server(store, registry=registry) as srv:
+        client = ServeClient(f"http://127.0.0.1:{srv.port}")
+
+        before = parse_exposition(client.metrics())
+        assert before["repro_serve_jobs_submitted_total"].value() == 0
+
+        job = client.submit_specs(tiny_specs())
+        status = client.wait(job["job"], timeout=120)
+        assert status["complete"]
+
+        # Raw urllib fetch: assert the content type advertises the format.
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{srv.port}/metrics", timeout=10
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith(
+                "text/plain; version=0.0.4"
+            )
+            text = response.read().decode()
+
+        families = parse_exposition(text)
+        # The ISSUE's floor: at least 20 distinct series on a fresh daemon.
+        assert sample_count(families) >= 20
+        assert families["repro_serve_jobs_submitted_total"].value() == 1
+        assert families["repro_serve_jobs_finished_total"].value() == 1
+        assert families["repro_serve_specs_submitted_total"].value() == 2
+        assert families["repro_serve_cells_total"].value({"status": "done"}) == 2
+        assert families["repro_serve_cell_seconds"].value(
+            sample_name="repro_serve_cell_seconds_count"
+        ) == 2
+        # HTTP traffic is labeled by normalized route, not raw path.
+        http = families["repro_http_requests_total"]
+        assert http.value({"route": "/metrics"}) >= 2
+        assert http.value({"route": "/jobs"}) == 1
+        assert http.value({"route": "/jobs/{id}"}) >= 1
+        # The store served through this daemon reports its own counters.
+        assert families["repro_store_stores_total"].value() == 2
+        # Worker/queue gauges evaluate at scrape time.
+        assert families["repro_serve_workers"].value() == 1
+        assert families["repro_serve_cells_running"].value() == 0
+
+
+def test_artifact_upload_roundtrip_over_http(tmp_path):
+    registry = MetricsRegistry()
+    store = ResultStore(tmp_path / "cache", metrics_registry=registry)
+    with running_server(store, registry=registry) as srv:
+        client = ServeClient(f"http://127.0.0.1:{srv.port}")
+        spec = tiny_specs()[0]
+        job = client.submit_specs([spec])
+        client.wait(job["job"], timeout=120)
+        key = spec_key(spec)
+
+        payload = b"\x00\x01binary trace bytes\xff"
+        receipt = client.put_artifact(key, "trace.bin", payload)
+        assert receipt == {"key": key, "name": "trace.bin", "bytes": len(payload)}
+        client.put_artifact(key, "notes.txt", "plain text artifact")
+
+        assert client.artifacts(key) == ["notes.txt", "trace.bin"]
+        assert client.get_artifact(key, "trace.bin") == payload
+        assert client.get_artifact(key, "notes.txt") == b"plain text artifact"
+        # The bytes landed in the store's artifact dir for the cell.
+        assert store.get_artifact(key, "trace.bin") == payload
+
+        with pytest.raises(ServeError) as excinfo:
+            client.put_artifact(key, "../escape", b"nope")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client.get_artifact(key, "missing.bin")
+        assert excinfo.value.status == 404
+
+
+def test_correlation_id_threads_client_to_job(tmp_path):
+    registry = MetricsRegistry()
+    store = ResultStore(tmp_path / "cache", metrics_registry=registry)
+    with running_server(store, registry=registry) as srv:
+        client = ServeClient(f"http://127.0.0.1:{srv.port}", cid="sweep-e2e42")
+        job = client.submit_specs([tiny_specs()[0]])
+        client.wait(job["job"], timeout=120)
+        rows = client._request("GET", "/jobs")["jobs"]
+        assert [r["cid"] for r in rows] == ["sweep-e2e42"]
+        assert rows[0]["complete"] and rows[0]["total"] == 1

@@ -69,11 +69,11 @@ def test_segment_slices_nest_inside_their_transaction():
 
 def test_metrics_become_counter_events():
     ring = MetricsRing(capacity=8)
-    ring.append((100, 4, 2, 1, 3, 0.5, 0.25, 0.1, 0.2))
+    ring.append((100, 4, 2, 1, 3, 0.5, 0.25, 0.1, 0.2, 7, 7, 1))
     doc = chrome_trace(_tracer_with_spans(), metrics=ring)
     validate_trace_events(doc)
     counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
-    assert {e["name"] for e in counters} >= {"mshrs", "bus_util"}
+    assert {e["name"] for e in counters} >= {"mshrs", "bus_util", "updates_sent"}
 
 
 def test_write_chrome_trace_is_loadable_json(tmp_path):

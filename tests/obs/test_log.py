@@ -1,0 +1,92 @@
+"""Structured JSON logs and correlation-id threading."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def reset_logging():
+    yield
+    obs_log.configure(enabled=False, stream=None)
+
+
+def capture():
+    stream = io.StringIO()
+    obs_log.configure(enabled=True, stream=stream)
+    return stream
+
+
+def events(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_log_event_emits_one_json_line_per_call():
+    stream = capture()
+    obs_log.log_event("serve", "cell_done", cell="ab12", attempts=2)
+    obs_log.log_event("store", "hit", level="debug", key="cd34")
+    first, second = events(stream)
+    assert first["component"] == "serve"
+    assert first["event"] == "cell_done"
+    assert first["level"] == "info"
+    assert first["cell"] == "ab12"
+    assert first["attempts"] == 2
+    assert isinstance(first["ts"], float)
+    assert second["level"] == "debug"
+    # None-valued fields are dropped, not serialized as null.
+    stream2 = capture()
+    obs_log.log_event("x", "y", omitted=None, kept=0)
+    [doc] = events(stream2)
+    assert "omitted" not in doc and doc["kept"] == 0
+
+
+def test_disabled_logging_writes_nothing():
+    stream = io.StringIO()
+    obs_log.configure(enabled=False, stream=stream)
+    obs_log.log_event("serve", "cell_done")
+    assert stream.getvalue() == ""
+    assert not obs_log.log_enabled()
+
+
+def test_correlation_scope_stamps_and_restores():
+    stream = capture()
+    assert obs_log.correlation_id() == ""
+    cid = obs_log.new_correlation_id("job")
+    assert cid.startswith("job-") and len(cid) == len("job-") + 12
+    with obs_log.correlation_scope(cid):
+        assert obs_log.correlation_id() == cid
+        obs_log.log_event("serve", "inside")
+        with obs_log.correlation_scope("nested-1"):
+            obs_log.log_event("serve", "deeper")
+        assert obs_log.correlation_id() == cid
+    assert obs_log.correlation_id() == ""
+    obs_log.log_event("serve", "outside")
+    inside, deeper, outside = events(stream)
+    assert inside["cid"] == cid
+    assert deeper["cid"] == "nested-1"
+    assert "cid" not in outside
+
+
+def test_configure_from_env_variants(tmp_path):
+    assert obs_log.configure_from_env("") is False
+    assert not obs_log.log_enabled()
+    assert obs_log.configure_from_env("0") is False
+    assert obs_log.configure_from_env("stderr") is True
+    assert obs_log.log_enabled()
+    target = tmp_path / "events.jsonl"
+    assert obs_log.configure_from_env(str(target)) is True
+    obs_log.log_event("cli", "configured", sink="file")
+    lines = target.read_text().splitlines()
+    assert json.loads(lines[0])["sink"] == "file"
+
+
+def test_log_event_survives_broken_stream():
+    class Broken(io.StringIO):
+        def write(self, *_):
+            raise OSError("disk full")
+
+    obs_log.configure(enabled=True, stream=Broken())
+    obs_log.log_event("serve", "still_fine")  # must not raise

@@ -96,6 +96,28 @@ def test_state_transitions_are_recorded(ad_run):
     assert any(site.startswith("cache") for site in sites)
 
 
+def test_dragon_update_transactions_trace_and_tile():
+    """Write-update commits (Wu -> Wup -> Uacks) trace like any other
+    transaction: segments tile, data is "served by" the update commit,
+    and the Upd fan-out is counted per span."""
+    machine, _ = _traced_run(ProtocolPolicy.dragon())
+    tracer = machine.tracer
+    for span in tracer.spans:
+        assert sum(span.segments.values()) == span.latency, span
+    assert not tracer.live
+    summary = tracer.summary()
+    assert summary["served_by"].get("update", 0) > 0
+    assert summary["updates"] > 0
+    updated = [s for s in tracer.spans if s.served_by == "update"]
+    assert updated
+    # A committed write crosses both meshes and touches home memory.
+    sample = max(updated, key=lambda s: s.n_updates)
+    assert sample.n_updates >= 1
+    assert {"request_net", "memory", "reply_net", "local_cache"} <= set(
+        sample.segments
+    )
+
+
 def test_tracing_disabled_is_result_identical(ad_run):
     machine, traced = ad_run
     plain_machine, plain = _traced_run(
